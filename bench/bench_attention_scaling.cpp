@@ -1,0 +1,80 @@
+// §5.2: hypercube-size tractability — "the time complexity of the
+// attention mechanism in transformers is well known to be quadratic ...
+// training becomes prohibitively slow when using larger than
+// 32x32x32-sized hypercubes".
+//
+// Two measurements: (a) MHSA forward+backward time vs token count, which
+// should follow the quadratic model once attention dominates projections;
+// (b) CNN-Transformer step time vs cube edge, the end-to-end version of
+// the paper's observation.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "ml/attention.hpp"
+#include "ml/models.hpp"
+
+using namespace sickle;
+using namespace sickle::ml;
+
+int main() {
+  bench::banner("§5.2 — attention cost vs sequence length / cube size",
+                "quadratic attention is why the paper caps hypercubes at "
+                "32^3");
+
+  // (a) MHSA cost vs token count.
+  std::printf("-- MHSA forward+backward seconds vs tokens (dim 32, 4 heads)\n");
+  bench::row_header({"tokens", "seconds", "sec/tokens^2 (x1e9)"});
+  Rng rng(1);
+  for (const std::size_t tokens : {16, 32, 64, 128, 256}) {
+    MultiHeadSelfAttention attn(32, 4, rng);
+    const Tensor x = Tensor::randn({2, tokens, 32}, rng);
+    // Warm-up + timed repetitions.
+    (void)attn.forward(x);
+    Timer t;
+    const int reps = 5;
+    for (int r = 0; r < reps; ++r) {
+      const Tensor y = attn.forward(x);
+      attn.zero_grad();
+      (void)attn.backward(y);
+    }
+    const double sec = t.seconds() / reps;
+    std::printf("%-22zu%-22.5f%-22.3f\n", tokens, sec,
+                1e9 * sec / static_cast<double>(tokens * tokens));
+  }
+  std::printf("(sec/tokens^2 flattens once the T^2 attention term "
+              "dominates the T*D^2 projections)\n\n");
+
+  // (b) CNN-Transformer training-step time vs cube edge.
+  std::printf("-- CNN-Transformer step seconds vs cube edge (full-full)\n");
+  bench::row_header({"edge", "voxels", "step seconds"});
+  double last = 0.0;
+  std::size_t last_edge = 0;
+  for (const std::size_t edge : {4, 8, 16}) {
+    Rng mrng(2);
+    CnnTransformerConfig cfg;
+    cfg.in_channels = 4;
+    cfg.edge = edge;
+    cfg.dim = 32;
+    cfg.heads = 4;
+    cfg.layers = 1;
+    cfg.ffn = 64;
+    cfg.out_channels = 1;
+    cfg.out_edge = edge;
+    CnnTransformer model(cfg, mrng);
+    const Tensor x = Tensor::randn({2, 2, 4, edge, edge, edge}, mrng);
+    (void)model.forward(x);  // warm-up
+    Timer t;
+    const Tensor y = model.forward(x);
+    model.zero_grad();
+    (void)model.backward(y);
+    last = t.seconds();
+    last_edge = edge;
+    std::printf("%-22zu%-22zu%-22.4f\n", edge, edge * edge * edge, last);
+  }
+  // Convolution cost grows ~edge^3; extrapolate to the paper's 32^3 cap.
+  std::printf("extrapolated 32^3 step: ~%.1f s (x%zu voxels over edge %zu) "
+              "— the paper's tractability wall\n",
+              last * 8.0, static_cast<std::size_t>(8), last_edge);
+  return 0;
+}

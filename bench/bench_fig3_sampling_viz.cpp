@@ -1,0 +1,117 @@
+// Figs. 1 & 3: sampling visualisations for OF2D at a 10% rate.
+//
+// The paper's figure shows that MaxEnt concentrates samples on the wake
+// structures while random sampling scatters uniformly. We reproduce the
+// visualisation as an ASCII density map per method and quantify it: the
+// fraction of samples landing in the wake region and the mean |vorticity|
+// at the selected points. Expected shape: maxent > uips > random on both
+// wake metrics; "full" is the reference.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sampling/point_samplers.hpp"
+#include "sickle/dataset_zoo.hpp"
+
+using namespace sickle;
+
+namespace {
+
+/// ASCII sample-density map: 48x18 cells over the domain.
+void ascii_map(const field::GridShape& shape,
+               const std::vector<std::size_t>& sel) {
+  constexpr std::size_t W = 48, H = 18;
+  std::vector<int> cells(W * H, 0);
+  for (const auto flat : sel) {
+    const std::size_t iy = flat % shape.ny;  // nz == 1
+    const std::size_t ix = flat / shape.ny;
+    const std::size_t cx = ix * W / shape.nx;
+    const std::size_t cy = iy * H / shape.ny;
+    ++cells[cy * W + cx];
+  }
+  const char* shades = " .:-=+*#%@";
+  int max_count = 1;
+  for (const int c : cells) max_count = std::max(max_count, c);
+  for (std::size_t y = H; y-- > 0;) {
+    std::putchar('|');
+    for (std::size_t x = 0; x < W; ++x) {
+      const int c = cells[y * W + x];
+      const int level = c == 0 ? 0 : 1 + (c * 8) / max_count;
+      std::putchar(shades[std::min(level, 9)]);
+    }
+    std::printf("|\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figs. 1 & 3 — OF2D sampling visualisation (10% rate)",
+                "MaxEnt best captures the wake structures; random scatters "
+                "uniformly; UIPS in between");
+
+  const auto bundle = make_dataset("OF2D", 42);
+  // Last snapshot (the paper uses t = 97).
+  const std::size_t ts = bundle.data.num_snapshots() - 3;  // t = 97 of 0..99
+  const auto& snap = bundle.data.snapshot(ts);
+  const auto& shape = snap.shape();
+
+  // Whole field as one cube; 10% of 10800 points.
+  const field::CubeTiling tiling(shape, {shape.nx, shape.ny, 1});
+  const std::vector<std::string> vars{"u", "v", "wz"};
+  const auto cube = field::extract_cube(snap, tiling, {0, 0, 0}, vars);
+
+  sampling::SamplerContext ctx;
+  ctx.phase_variables = {"u", "v"};
+  ctx.cluster_var = "wz";
+  ctx.num_samples = shape.size() / 10;
+  ctx.num_clusters = 10;
+
+  const auto wz = snap.get("wz").data();
+  // Wake region: downstream (x > cylinder), inside the street's span.
+  const double x0 = -2.0, x1 = 10.0, y1 = 2.25;
+  auto in_wake = [&](std::size_t flat) {
+    const std::size_t iy = flat % shape.ny;
+    const std::size_t ix = flat / shape.ny;
+    const double x = x0 + (x1 - x0) * static_cast<double>(ix) /
+                              static_cast<double>(shape.nx - 1);
+    const double y = -y1 + 2.0 * y1 * static_cast<double>(iy) /
+                               static_cast<double>(shape.ny - 1);
+    return x > 0.5 && std::abs(y) < 1.0;
+  };
+  double wake_cells = 0.0;
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (in_wake(i)) wake_cells += 1.0;
+  }
+  const double wake_base = wake_cells / static_cast<double>(shape.size());
+
+  bench::row_header({"method", "samples", "wake_fraction", "wake_lift",
+                     "mean|wz|@samples"});
+  for (const char* method : {"full", "random", "uips", "maxent"}) {
+    auto sampler = sampling::SamplerRegistry::instance().create(method);
+    Rng rng(7);
+    const auto sel = sampler->select(cube, ctx, rng);
+    std::size_t wake_hits = 0;
+    double mean_wz = 0.0;
+    std::vector<std::size_t> global;
+    global.reserve(sel.size());
+    for (const auto p : sel) {
+      const std::size_t flat = cube.indices[p];
+      global.push_back(flat);
+      if (in_wake(flat)) ++wake_hits;
+      mean_wz += std::abs(wz[flat]);
+    }
+    const double frac =
+        static_cast<double>(wake_hits) / static_cast<double>(sel.size());
+    std::printf("%-22s%-22zu%-22.3f%-22.2f%-22.4f\n", method, sel.size(),
+                frac, frac / wake_base,
+                mean_wz / static_cast<double>(sel.size()));
+    std::printf("sample density map (%s):\n", method);
+    ascii_map(shape, global);
+    std::printf("\n");
+  }
+  std::printf("wake region covers %.3f of the domain; wake_lift > 1 means "
+              "the sampler concentrates on the wake.\n",
+              wake_base);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 5: PDFs of subsampling methods (10% sampling) on OF2D, SST-P1F4
+// and GESTS-2048.
+//
+// For each dataset we subsample 10% with random / uips / maxent and
+// compare the sampled distribution of the cluster variable against the
+// full-data PDF: KL(sample || full), JS, and tail coverage at the 2%
+// quantiles. Expected shape (paper): MaxEnt matches best in the tails;
+// random under-covers tails at this rate; UIPS over-flattens.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sampling/point_samplers.hpp"
+#include "sickle/dataset_zoo.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/entropy.hpp"
+#include "stats/histogram.hpp"
+
+using namespace sickle;
+
+namespace {
+
+void run_dataset(const std::string& label,
+                 const std::vector<std::string>& phase_vars,
+                 const std::string& var) {
+  const auto bundle = make_dataset(label, 42);
+  const auto& snap = bundle.data.snapshot(0);
+  const auto& shape = snap.shape();
+  const field::CubeTiling tiling(shape, {shape.nx, shape.ny, shape.nz});
+  std::vector<std::string> vars = phase_vars;
+  if (std::find(vars.begin(), vars.end(), var) == vars.end()) {
+    vars.push_back(var);
+  }
+  const auto cube = field::extract_cube(snap, tiling, {0, 0, 0},
+                                        std::span<const std::string>(vars));
+  const auto full = snap.get(var).data();
+  // Fixed bin count of 100, as the paper's PDF comparisons use.
+  const auto ref_hist = stats::Histogram::fit(full, 100);
+  const auto ref_pmf = ref_hist.pmf();
+
+  sampling::SamplerContext ctx;
+  ctx.phase_variables = phase_vars;
+  ctx.cluster_var = var;
+  ctx.num_samples = shape.size() / 10;
+  ctx.num_clusters = 20;
+  ctx.pdf_bins = 8;
+
+  std::printf("-- %s (variable %s, %zu points, 10%% = %zu samples)\n",
+              label.c_str(), var.c_str(), shape.size(), ctx.num_samples);
+  bench::row_header({"method", "KL(s||full)", "JS", "tail_cov@2%",
+                     "tail_target"});
+  for (const char* method : {"random", "uips", "maxent"}) {
+    auto sampler = sampling::SamplerRegistry::instance().create(method);
+    Rng rng(5);
+    const auto sel = sampler->select(cube, ctx, rng);
+    std::vector<double> sampled;
+    sampled.reserve(sel.size());
+    const std::size_t var_col = [&] {
+      for (std::size_t i = 0; i < cube.variables.size(); ++i) {
+        if (cube.variables[i] == var) return i;
+      }
+      return std::size_t{0};
+    }();
+    for (const auto p : sel) sampled.push_back(cube.values[var_col][p]);
+
+    stats::Histogram sh(ref_hist.lo(), ref_hist.hi(), 100);
+    sh.add(std::span<const double>(sampled));
+    const auto spmf = sh.pmf();
+    std::printf("%-22s%-22.4f%-22.4f%-22.4f%-22.4f\n", method,
+                stats::kl_divergence(spmf, ref_pmf),
+                stats::js_divergence(spmf, ref_pmf),
+                stats::tail_coverage(full, sampled, 0.02), 0.04);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 5 — sampled-vs-full PDFs at 10% sampling",
+                "MaxEnt achieves the best tail representation; random "
+                "under-covers tails; differences shrink on isotropic GESTS");
+  run_dataset("OF2D", {"u", "v"}, "wz");
+  run_dataset("SST-P1F4", {"u", "v", "w", "rho"}, "pv");
+  run_dataset("GESTS-2048", {"u", "v", "w", "eps"}, "enstrophy");
+  std::printf(
+      "tail_cov@2%%: fraction of samples beyond the full data's 2%%/98%% "
+      "quantiles; the full distribution scores 0.04. MaxEnt should sit "
+      "above random (better tail mass), most prominently on the "
+      "anisotropic datasets.\n");
+  return 0;
+}

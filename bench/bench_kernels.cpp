@@ -1,0 +1,125 @@
+// Micro-kernel benchmarks (google-benchmark): the hot paths every
+// experiment runs through — FFT, k-means, histograms, samplers, matmul.
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "ml/tensor.hpp"
+#include "sampling/point_samplers.hpp"
+#include "stats/histogram.hpp"
+
+namespace {
+
+using namespace sickle;
+
+void BM_Fft1D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<fft::cplx> data(n);
+  for (auto& x : data) x = fft::cplx(rng.normal(), 0.0);
+  for (auto _ : state) {
+    fft::forward(std::span<fft::cplx>(data));
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Fft1D)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Fft3D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<fft::cplx> data(n * n * n);
+  for (auto& x : data) x = fft::cplx(rng.normal(), 0.0);
+  for (auto _ : state) {
+    fft::transform_3d(std::span<fft::cplx>(data), n, n, n, false);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_Fft3D)->Arg(16)->Arg(32);
+
+void BM_MiniBatchKMeans(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> data(n);
+  for (auto& x : data) x = rng.normal();
+  cluster::KMeansOptions opts;
+  opts.k = 20;
+  opts.max_iterations = 20;
+  for (auto _ : state) {
+    Rng r(4);
+    auto result = cluster::minibatch_kmeans(data, n, 1, opts, r);
+    benchmark::DoNotOptimize(result.inertia);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_MiniBatchKMeans)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_Histogram(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> data(n);
+  for (auto& x : data) x = rng.normal();
+  for (auto _ : state) {
+    auto h = stats::Histogram::fit(data, 100);
+    benchmark::DoNotOptimize(h.total());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Histogram)->Arg(1 << 14)->Arg(1 << 18);
+
+field::Hypercube bench_cube(std::size_t n) {
+  field::Hypercube cube;
+  cube.variables = {"a", "b", "cv"};
+  cube.values.resize(3);
+  Rng rng(6);
+  for (std::size_t i = 0; i < n; ++i) {
+    cube.indices.push_back(i);
+    cube.values[0].push_back(rng.normal());
+    cube.values[1].push_back(rng.normal());
+    cube.values[2].push_back(rng.normal());
+  }
+  return cube;
+}
+
+template <typename SamplerT>
+void BM_Sampler(benchmark::State& state) {
+  const auto cube = bench_cube(32 * 32 * 32);
+  sampling::SamplerContext ctx;
+  ctx.phase_variables = {"a", "b"};
+  ctx.cluster_var = "cv";
+  ctx.num_samples = 3277;  // the paper's 10% of 32^3
+  ctx.num_clusters = 20;
+  SamplerT sampler;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    auto sel = sampler.select(cube, ctx, rng);
+    benchmark::DoNotOptimize(sel.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          cube.points());
+}
+BENCHMARK_TEMPLATE(BM_Sampler, sampling::RandomSampler);
+BENCHMARK_TEMPLATE(BM_Sampler, sampling::StratifiedSampler);
+BENCHMARK_TEMPLATE(BM_Sampler, sampling::UipsSampler);
+BENCHMARK_TEMPLATE(BM_Sampler, sampling::MaxEntSampler);
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  ml::Tensor a = ml::Tensor::randn({n, n}, rng);
+  ml::Tensor b = ml::Tensor::randn({n, n}, rng);
+  ml::Tensor c({n, n});
+  for (auto _ : state) {
+    ml::matmul(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n *
+                          n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

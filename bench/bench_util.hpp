@@ -1,0 +1,22 @@
+// Shared helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sickle::bench {
+
+inline void banner(const std::string& title, const std::string& paper_note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("paper: %s\n\n", paper_note.c_str());
+}
+
+inline void row_header(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%-22s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%-22s", "------");
+  std::printf("\n");
+}
+
+}  // namespace sickle::bench

@@ -1,0 +1,49 @@
+// Drag-prediction surrogate (the paper's sample-single problem).
+//
+// Samples ns "sensor" points from the OF2D cylinder flowfield with MaxEnt,
+// trains the LSTM architecture of Table 2 on windows of the sensor
+// readings, and predicts the drag coefficient — then compares against a
+// random-sensor baseline, the Fig. 6 experiment in miniature.
+#include <cstdio>
+
+#include "ml/models.hpp"
+#include "sickle/case.hpp"
+
+int main() {
+  using namespace sickle;
+
+  std::printf("generating OF2D cylinder wake (100 snapshots + drag)...\n");
+  const DatasetBundle bundle = make_dataset("OF2D", /*seed=*/42);
+
+  const std::size_t ns = 128;     // sensors
+  const std::size_t window = 3;   // input sequence length
+
+  for (const char* method : {"maxent", "random"}) {
+    energy::EnergyCounter sampling_energy;
+    const ml::TensorDataset data = build_drag_dataset(
+        bundle, method, ns, window, /*seed=*/1, &sampling_energy);
+
+    Rng mrng(7);
+    ml::LstmModelConfig mc;
+    mc.in_channels = 2 * ns;  // u, v per sensor
+    mc.hidden = 16;
+    mc.out_channels = 1;
+    ml::LstmModel model(mc, mrng);
+
+    ml::TrainConfig tc;
+    tc.epochs = 30;
+    tc.batch = 16;
+    tc.lr = 2e-3;
+    tc.patience = 10;
+    const auto report = ml::fit(model, data, tc);
+
+    std::printf("\n%s sensors (%zu of 10800 points):\n", method, ns);
+    std::printf("  model parameters: %zu\n", report.parameters);
+    std::printf("  final train loss: %.5f\n", report.final_train_loss);
+    std::printf("  Evaluation on test set: %.5f\n", report.test_loss);
+    std::printf("  %s\n", report.energy.report().c_str());
+  }
+  std::printf("\n(MaxEnt sensors concentrate on the wake and typically "
+              "yield the lower, more stable test loss — Fig. 6)\n");
+  return 0;
+}

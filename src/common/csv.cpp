@@ -1,0 +1,77 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sickle {
+
+CsvTable::CsvTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  SICKLE_CHECK_MSG(!columns_.empty(), "CSV table needs at least one column");
+}
+
+void CsvTable::new_row() {
+  if (!rows_.empty()) {
+    SICKLE_CHECK_MSG(rows_.back().size() == columns_.size(),
+                     "previous CSV row incomplete");
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+}
+
+void CsvTable::push(const std::string& value) {
+  SICKLE_CHECK_MSG(!rows_.empty(), "call new_row() before push()");
+  SICKLE_CHECK_MSG(rows_.back().size() < columns_.size(),
+                   "too many values in CSV row");
+  rows_.back().push_back(value);
+}
+
+void CsvTable::push(double value) {
+  std::ostringstream os;
+  os.precision(10);
+  os << value;
+  push(os.str());
+}
+
+void CsvTable::push(std::size_t value) { push(std::to_string(value)); }
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvTable::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(columns_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CsvTable::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw RuntimeError("cannot open CSV output file: " + path);
+  f << to_string();
+  if (!f) throw RuntimeError("error writing CSV file: " + path);
+}
+
+}  // namespace sickle

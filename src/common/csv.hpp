@@ -1,0 +1,42 @@
+// Minimal CSV table writer used by benches to emit figure data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sickle {
+
+/// Row-oriented CSV table. Columns are fixed at construction; rows are
+/// appended as strings or doubles and the table is rendered to a file or
+/// string. Values containing commas/quotes are quoted per RFC 4180.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> columns);
+
+  /// Begin a new row; subsequent push() calls fill it left to right.
+  void new_row();
+  void push(const std::string& value);
+  void push(double value);
+  void push(std::size_t value);
+
+  /// Number of completed + in-progress rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+
+  /// Render the full table (header + rows).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Write to disk; throws RuntimeError on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a CSV field if needed.
+std::string csv_escape(const std::string& field);
+
+}  // namespace sickle

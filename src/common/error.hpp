@@ -1,0 +1,51 @@
+// SICKLE error-handling primitives.
+//
+// Invariant violations in library code are programming errors; we surface
+// them with a checked macro that throws std::logic_error (tests assert on
+// this) rather than aborting, so callers can recover in long-running jobs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sickle {
+
+/// Thrown when a SICKLE_CHECK precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown for runtime failures (I/O, malformed config, ...).
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SICKLE_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sickle
+
+/// Precondition check. Active in all build types: sampler correctness
+/// depends on these invariants and their cost is negligible next to the
+/// numeric kernels they guard.
+#define SICKLE_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::sickle::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define SICKLE_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::sickle::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,16 @@
+#include "energy/energy.hpp"
+
+#include <sstream>
+
+namespace sickle::energy {
+
+std::string EnergyCounter::report(const EnergyModel& model) const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "Total Energy Consumed: " << kilojoules(model) << " kJ"
+     << " (flops=" << flops_ << ", bytes=" << bytes_
+     << ", seconds=" << seconds_ << ")";
+  return os.str();
+}
+
+}  // namespace sickle::energy

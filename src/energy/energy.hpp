@@ -1,0 +1,104 @@
+// Energy accounting — the repo's substitute for Cray PM counters.
+//
+// The paper measures sampling/training energy with Frontier's power
+// management counters. Offline we model it: instrumented code reports the
+// work it performs (FLOPs, bytes moved, wall seconds) to an EnergyCounter,
+// and an EnergyModel converts the tallies to joules:
+//
+//   E = e_flop * FLOPs + e_byte * bytes + P_static * seconds
+//
+// The defaults encode the relationship the paper leans on (Kogge & Shalf;
+// Kestor et al.): moving a double across the memory system costs on the
+// order of 100x computing with it. Absolute joules are therefore
+// model-dependent, but *ratios between runs* — the quantity behind the
+// paper's 38x claim — depend only on relative data volume and time, which
+// we measure directly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace sickle::energy {
+
+/// Conversion constants (defaults: exascale-node-era literature values).
+struct EnergyModel {
+  double joules_per_flop = 20e-12;   ///< ~20 pJ per double-precision flop
+  double joules_per_byte = 2.5e-9;   ///< DRAM + fabric movement per byte
+  double static_watts = 150.0;       ///< apportioned static/idle node power
+
+  /// Node roofline used to project run time onto target hardware: this
+  /// repo executes on a slow scalar host, so charging static power against
+  /// *host* wall time would swamp the work terms. Effective (not peak)
+  /// MI250X-node-class rates.
+  double node_flops_per_second = 5e12;
+  double node_bytes_per_second = 5e10;
+
+  [[nodiscard]] double joules(double flops, double bytes,
+                              double seconds) const noexcept {
+    return joules_per_flop * flops + joules_per_byte * bytes +
+           static_watts * seconds;
+  }
+
+  /// Time this work would take on the modeled node (roofline max).
+  [[nodiscard]] double node_seconds(double flops,
+                                    double bytes) const noexcept {
+    const double t_flops = flops / node_flops_per_second;
+    const double t_bytes = bytes / node_bytes_per_second;
+    return t_flops > t_bytes ? t_flops : t_bytes;
+  }
+
+  /// Energy with static power charged against projected node time instead
+  /// of measured host seconds — the figure-of-merit every energy
+  /// experiment reports (EXPERIMENTS.md).
+  [[nodiscard]] double projected_joules(double flops,
+                                        double bytes) const noexcept {
+    return joules(flops, bytes, node_seconds(flops, bytes));
+  }
+};
+
+/// Accumulates work tallies; cheap enough to update from hot loops at
+/// region granularity (callers batch their counts).
+class EnergyCounter {
+ public:
+  void add_flops(double n) noexcept { flops_ += n; }
+  void add_bytes(double n) noexcept { bytes_ += n; }
+  void add_seconds(double s) noexcept { seconds_ += s; }
+  void merge(const EnergyCounter& other) noexcept {
+    flops_ += other.flops_;
+    bytes_ += other.bytes_;
+    seconds_ += other.seconds_;
+  }
+  void reset() noexcept { flops_ = bytes_ = seconds_ = 0.0; }
+
+  [[nodiscard]] double flops() const noexcept { return flops_; }
+  [[nodiscard]] double bytes() const noexcept { return bytes_; }
+  [[nodiscard]] double seconds() const noexcept { return seconds_; }
+
+  [[nodiscard]] double joules(const EnergyModel& model = {}) const noexcept {
+    return model.joules(flops_, bytes_, seconds_);
+  }
+  [[nodiscard]] double kilojoules(const EnergyModel& model = {}) const noexcept {
+    return joules(model) * 1e-3;
+  }
+
+  /// Node-projected energy (static power x roofline node time); see
+  /// EnergyModel::projected_joules.
+  [[nodiscard]] double projected_joules(
+      const EnergyModel& model = {}) const noexcept {
+    return model.projected_joules(flops_, bytes_);
+  }
+  [[nodiscard]] double projected_kilojoules(
+      const EnergyModel& model = {}) const noexcept {
+    return projected_joules(model) * 1e-3;
+  }
+
+  /// "Total Energy Consumed: X kJ" — the string the paper greps from logs.
+  [[nodiscard]] std::string report(const EnergyModel& model = {}) const;
+
+ private:
+  double flops_ = 0.0;
+  double bytes_ = 0.0;
+  double seconds_ = 0.0;
+};
+
+}  // namespace sickle::energy

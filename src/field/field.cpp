@@ -1,0 +1,79 @@
+#include "field/field.hpp"
+
+namespace sickle::field {
+
+namespace {
+std::size_t wrap(std::ptrdiff_t i, std::size_t n) noexcept {
+  const auto sn = static_cast<std::ptrdiff_t>(n);
+  std::ptrdiff_t m = i % sn;
+  if (m < 0) m += sn;
+  return static_cast<std::size_t>(m);
+}
+}  // namespace
+
+double Field::at_periodic(std::ptrdiff_t ix, std::ptrdiff_t iy,
+                          std::ptrdiff_t iz) const noexcept {
+  return data_[shape_.index(wrap(ix, shape_.nx), wrap(iy, shape_.ny),
+                            wrap(iz, shape_.nz))];
+}
+
+Field& Snapshot::add(std::string name) {
+  SICKLE_CHECK_MSG(!has(name), "duplicate field name: " + name);
+  index_[name] = fields_.size();
+  fields_.emplace_back(std::move(name), shape_);
+  return fields_.back();
+}
+
+Field& Snapshot::add(std::string name, std::vector<double> data) {
+  SICKLE_CHECK_MSG(!has(name), "duplicate field name: " + name);
+  index_[name] = fields_.size();
+  fields_.emplace_back(std::move(name), shape_, std::move(data));
+  return fields_.back();
+}
+
+bool Snapshot::has(const std::string& name) const noexcept {
+  return index_.count(name) > 0;
+}
+
+const Field& Snapshot::get(const std::string& name) const {
+  const auto it = index_.find(name);
+  SICKLE_CHECK_MSG(it != index_.end(), "unknown field: " + name);
+  return fields_[it->second];
+}
+
+Field& Snapshot::get(const std::string& name) {
+  const auto it = index_.find(name);
+  SICKLE_CHECK_MSG(it != index_.end(), "unknown field: " + name);
+  return fields_[it->second];
+}
+
+std::vector<std::string> Snapshot::names() const {
+  std::vector<std::string> out;
+  out.reserve(fields_.size());
+  for (const auto& f : fields_) out.push_back(f.name());
+  return out;
+}
+
+std::vector<double> Snapshot::values_at(std::span<const std::string> vars,
+                                        std::size_t flat_index) const {
+  std::vector<double> out;
+  out.reserve(vars.size());
+  for (const auto& v : vars) out.push_back(get(v).data()[flat_index]);
+  return out;
+}
+
+void Dataset::push(Snapshot snapshot) {
+  if (!snapshots_.empty()) {
+    SICKLE_CHECK_MSG(snapshot.shape() == snapshots_.front().shape(),
+                     "all snapshots in a dataset share one grid");
+  }
+  snapshots_.push_back(std::move(snapshot));
+}
+
+std::size_t Dataset::bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& s : snapshots_) total += s.bytes();
+  return total;
+}
+
+}  // namespace sickle::field

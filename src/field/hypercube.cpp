@@ -1,0 +1,69 @@
+#include "field/hypercube.hpp"
+
+namespace sickle::field {
+
+CubeTiling::CubeTiling(GridShape grid, CubeSpec spec)
+    : grid_(grid), spec_(spec) {
+  SICKLE_CHECK_MSG(spec_.ex > 0 && spec_.ey > 0 && spec_.ez > 0,
+                   "cube edges must be positive");
+  tx_ = grid_.nx / spec_.ex;
+  ty_ = grid_.ny / spec_.ey;
+  tz_ = grid_.nz / spec_.ez;
+  SICKLE_CHECK_MSG(tx_ > 0 && ty_ > 0 && tz_ > 0,
+                   "grid smaller than one hypercube");
+}
+
+CubeCoord CubeTiling::coord(std::size_t flat) const noexcept {
+  CubeCoord c;
+  c.cz = flat % tz_;
+  c.cy = (flat / tz_) % ty_;
+  c.cx = flat / (tz_ * ty_);
+  return c;
+}
+
+std::size_t CubeTiling::flat(const CubeCoord& c) const noexcept {
+  return (c.cx * ty_ + c.cy) * tz_ + c.cz;
+}
+
+std::vector<std::size_t> CubeTiling::point_indices(const CubeCoord& c) const {
+  SICKLE_CHECK(c.cx < tx_ && c.cy < ty_ && c.cz < tz_);
+  std::vector<std::size_t> out;
+  out.reserve(spec_.points());
+  const std::size_t x0 = c.cx * spec_.ex;
+  const std::size_t y0 = c.cy * spec_.ey;
+  const std::size_t z0 = c.cz * spec_.ez;
+  for (std::size_t ix = x0; ix < x0 + spec_.ex; ++ix) {
+    for (std::size_t iy = y0; iy < y0 + spec_.ey; ++iy) {
+      for (std::size_t iz = z0; iz < z0 + spec_.ez; ++iz) {
+        out.push_back(grid_.index(ix, iy, iz));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Hypercube::feature(std::size_t p) const {
+  std::vector<double> f;
+  f.reserve(values.size());
+  for (const auto& v : values) f.push_back(v[p]);
+  return f;
+}
+
+Hypercube extract_cube(const Snapshot& snap, const CubeTiling& tiling,
+                       const CubeCoord& c, std::span<const std::string> vars) {
+  Hypercube cube;
+  cube.coord = c;
+  cube.indices = tiling.point_indices(c);
+  cube.variables.assign(vars.begin(), vars.end());
+  cube.values.reserve(vars.size());
+  for (const auto& name : vars) {
+    const auto data = snap.get(name).data();
+    std::vector<double> v;
+    v.reserve(cube.indices.size());
+    for (const std::size_t idx : cube.indices) v.push_back(data[idx]);
+    cube.values.push_back(std::move(v));
+  }
+  return cube;
+}
+
+}  // namespace sickle::field

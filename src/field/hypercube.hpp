@@ -1,0 +1,80 @@
+// Hypercube tiling and extraction.
+//
+// Phase 1 of SICKLE decomposes each snapshot into edge^3 hypercubes (32^3
+// in the paper; "full" training means fully dense cubes of this size). A
+// Hypercube view carries, per variable, the flattened values inside the
+// cube plus the global flat indices of its points so phase-2 samplers can
+// report selections in global coordinates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace sickle::field {
+
+/// Cube edge lengths (the paper's --nxsl/--nysl/--nzsl).
+struct CubeSpec {
+  std::size_t ex = 32;
+  std::size_t ey = 32;
+  std::size_t ez = 32;
+  [[nodiscard]] std::size_t points() const noexcept { return ex * ey * ez; }
+};
+
+/// Integer coordinate of a cube within the tiling.
+struct CubeCoord {
+  std::size_t cx = 0, cy = 0, cz = 0;
+  bool operator==(const CubeCoord&) const = default;
+};
+
+/// Tiling of a grid into non-overlapping cubes; trailing partial cubes are
+/// dropped (the reference implementation likewise samples only whole
+/// cubes).
+class CubeTiling {
+ public:
+  CubeTiling(GridShape grid, CubeSpec spec);
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return tx_ * ty_ * tz_;
+  }
+  [[nodiscard]] std::size_t tiles_x() const noexcept { return tx_; }
+  [[nodiscard]] std::size_t tiles_y() const noexcept { return ty_; }
+  [[nodiscard]] std::size_t tiles_z() const noexcept { return tz_; }
+  [[nodiscard]] const CubeSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const GridShape& grid() const noexcept { return grid_; }
+
+  [[nodiscard]] CubeCoord coord(std::size_t flat) const noexcept;
+  [[nodiscard]] std::size_t flat(const CubeCoord& c) const noexcept;
+
+  /// Global flat grid indices of every point inside cube `c`, z-fastest.
+  [[nodiscard]] std::vector<std::size_t> point_indices(
+      const CubeCoord& c) const;
+
+ private:
+  GridShape grid_;
+  CubeSpec spec_;
+  std::size_t tx_, ty_, tz_;
+};
+
+/// Extracted cube data: per-variable flattened values + global indices.
+struct Hypercube {
+  CubeCoord coord;
+  std::vector<std::size_t> indices;            ///< global flat grid indices
+  std::vector<std::string> variables;          ///< variable order
+  std::vector<std::vector<double>> values;     ///< [var][point]
+
+  [[nodiscard]] std::size_t points() const noexcept { return indices.size(); }
+  /// Feature vector (one value per variable) for local point p.
+  [[nodiscard]] std::vector<double> feature(std::size_t p) const;
+};
+
+/// Extract the named variables of `snap` inside cube `c`.
+[[nodiscard]] Hypercube extract_cube(const Snapshot& snap,
+                                     const CubeTiling& tiling,
+                                     const CubeCoord& c,
+                                     std::span<const std::string> vars);
+
+}  // namespace sickle::field

@@ -1,0 +1,151 @@
+#include "io/snapshot_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace sickle::io {
+
+namespace {
+
+constexpr char kSnapshotMagic[4] = {'S', 'K', 'L', '1'};
+constexpr char kSamplesMagic[4] = {'S', 'K', 'S', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& f) {
+  T v{};
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!f) throw RuntimeError("truncated .skl file");
+  return v;
+}
+
+void write_string(std::ofstream& f, const std::string& s) {
+  write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(s.size()));
+  f.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& f) {
+  const auto len = read_pod<std::uint32_t>(f);
+  SICKLE_CHECK_MSG(len < (1u << 20), "implausible string length in .skl");
+  std::string s(len, '\0');
+  f.read(s.data(), len);
+  if (!f) throw RuntimeError("truncated .skl file");
+  return s;
+}
+
+void write_doubles(std::ofstream& f, std::span<const double> v) {
+  f.write(reinterpret_cast<const char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+void read_doubles(std::ifstream& f, std::span<double> v) {
+  f.read(reinterpret_cast<char*>(v.data()),
+         static_cast<std::streamsize>(v.size() * sizeof(double)));
+  if (!f) throw RuntimeError("truncated .skl file");
+}
+
+}  // namespace
+
+std::size_t save_snapshot(const field::Snapshot& snap,
+                          const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw RuntimeError("cannot open for write: " + path);
+  f.write(kSnapshotMagic, 4);
+  write_pod<std::uint64_t>(f, snap.shape().nx);
+  write_pod<std::uint64_t>(f, snap.shape().ny);
+  write_pod<std::uint64_t>(f, snap.shape().nz);
+  write_pod<double>(f, snap.time());
+  const auto names = snap.names();
+  write_pod<std::uint64_t>(f, names.size());
+  for (const auto& name : names) {
+    write_string(f, name);
+    write_doubles(f, snap.get(name).data());
+  }
+  f.flush();
+  if (!f) throw RuntimeError("error writing: " + path);
+  return file_bytes(path);
+}
+
+field::Snapshot load_snapshot(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw RuntimeError("cannot open for read: " + path);
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::memcmp(magic, kSnapshotMagic, 4) != 0) {
+    throw RuntimeError("not a .skl snapshot file: " + path);
+  }
+  field::GridShape shape;
+  shape.nx = read_pod<std::uint64_t>(f);
+  shape.ny = read_pod<std::uint64_t>(f);
+  shape.nz = read_pod<std::uint64_t>(f);
+  const double time = read_pod<double>(f);
+  field::Snapshot snap(shape, time);
+  const auto nfields = read_pod<std::uint64_t>(f);
+  SICKLE_CHECK_MSG(nfields < 1024, "implausible field count in .skl");
+  for (std::uint64_t i = 0; i < nfields; ++i) {
+    const std::string name = read_string(f);
+    std::vector<double> data(shape.size());
+    read_doubles(f, data);
+    snap.add(name, std::move(data));
+  }
+  return snap;
+}
+
+std::size_t save_samples(const SampleFile& samples, const std::string& path) {
+  SICKLE_CHECK(samples.features.size() ==
+               samples.indices.size() * samples.variables.size());
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw RuntimeError("cannot open for write: " + path);
+  f.write(kSamplesMagic, 4);
+  write_pod<std::uint64_t>(f, samples.indices.size());
+  write_pod<std::uint64_t>(f, samples.variables.size());
+  for (const auto& v : samples.variables) write_string(f, v);
+  f.write(reinterpret_cast<const char*>(samples.indices.data()),
+          static_cast<std::streamsize>(samples.indices.size() *
+                                       sizeof(std::uint64_t)));
+  write_doubles(f, samples.features);
+  f.flush();
+  if (!f) throw RuntimeError("error writing: " + path);
+  return file_bytes(path);
+}
+
+SampleFile load_samples(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw RuntimeError("cannot open for read: " + path);
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::memcmp(magic, kSamplesMagic, 4) != 0) {
+    throw RuntimeError("not a .skl sample file: " + path);
+  }
+  SampleFile out;
+  const auto n = read_pod<std::uint64_t>(f);
+  const auto nvars = read_pod<std::uint64_t>(f);
+  SICKLE_CHECK_MSG(nvars < 1024, "implausible variable count");
+  out.variables.reserve(nvars);
+  for (std::uint64_t i = 0; i < nvars; ++i) {
+    out.variables.push_back(read_string(f));
+  }
+  out.indices.resize(n);
+  f.read(reinterpret_cast<char*>(out.indices.data()),
+         static_cast<std::streamsize>(n * sizeof(std::uint64_t)));
+  if (!f) throw RuntimeError("truncated sample file");
+  out.features.resize(n * nvars);
+  read_doubles(f, out.features);
+  return out;
+}
+
+std::size_t file_bytes(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::size_t>(size);
+}
+
+}  // namespace sickle::io

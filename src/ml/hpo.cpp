@@ -1,0 +1,50 @@
+#include "ml/hpo.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace sickle::ml {
+
+HpoReport tune(const HpoObjective& objective, const HpoConfig& cfg) {
+  SICKLE_CHECK_MSG(cfg.num_candidates >= 1, "need at least one candidate");
+  SICKLE_CHECK_MSG(!cfg.lr_choices.empty() && !cfg.hidden_choices.empty() &&
+                       !cfg.layer_choices.empty(),
+                   "empty search space");
+  Rng rng(cfg.seed, /*stream=*/0x490);
+
+  std::vector<HpoCandidate> pool;
+  pool.reserve(cfg.num_candidates);
+  for (std::size_t i = 0; i < cfg.num_candidates; ++i) {
+    HpoCandidate c;
+    c.lr = cfg.lr_choices[rng.uniform_int(cfg.lr_choices.size())];
+    c.hidden = cfg.hidden_choices[rng.uniform_int(cfg.hidden_choices.size())];
+    c.layers = cfg.layer_choices[rng.uniform_int(cfg.layer_choices.size())];
+    pool.push_back(c);
+  }
+
+  HpoReport report;
+  std::size_t epochs = cfg.initial_epochs;
+  for (std::size_t rung = 0; rung < cfg.rungs && !pool.empty(); ++rung) {
+    for (auto& c : pool) {
+      c.loss = objective(c, epochs);
+      c.epochs = epochs;
+      report.history.push_back(c);
+      report.total_epochs += epochs;
+    }
+    std::sort(pool.begin(), pool.end(),
+              [](const HpoCandidate& a, const HpoCandidate& b) {
+                return a.loss < b.loss;
+              });
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg.keep_fraction *
+                                    static_cast<double>(pool.size())));
+    pool.resize(keep);
+    epochs *= 2;
+  }
+  report.best = pool.front();
+  return report;
+}
+
+}  // namespace sickle::ml

@@ -1,0 +1,48 @@
+// Hyperparameter optimization (the paper's --tune / DeepHyper stand-in).
+//
+// DeepHyper's Bayesian search is replaced by random search with successive
+// halving: sample configurations, evaluate all at a small epoch budget,
+// keep the best fraction, multiply the budget, repeat. This exercises the
+// same tune-then-train code path at a fraction of the machinery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sickle::ml {
+
+struct HpoCandidate {
+  double lr = 1e-3;
+  std::size_t hidden = 32;
+  std::size_t layers = 2;
+  double loss = 0.0;       ///< filled by the tuner
+  std::size_t epochs = 0;  ///< budget the loss was measured at
+};
+
+struct HpoConfig {
+  std::size_t num_candidates = 8;
+  std::size_t initial_epochs = 5;
+  std::size_t rungs = 3;         ///< halving rounds
+  double keep_fraction = 0.5;
+  std::vector<double> lr_choices{3e-4, 1e-3, 3e-3};
+  std::vector<std::size_t> hidden_choices{16, 32, 64};
+  std::vector<std::size_t> layer_choices{1, 2};
+  std::uint64_t seed = 0;
+};
+
+/// Objective: train a model with (candidate, epoch budget) and return the
+/// validation loss. Must be deterministic given its arguments.
+using HpoObjective =
+    std::function<double(const HpoCandidate&, std::size_t epochs)>;
+
+struct HpoReport {
+  HpoCandidate best;
+  std::vector<HpoCandidate> history;  ///< all evaluations, in order
+  std::size_t total_epochs = 0;       ///< summed training budget spent
+};
+
+[[nodiscard]] HpoReport tune(const HpoObjective& objective,
+                             const HpoConfig& cfg);
+
+}  // namespace sickle::ml

@@ -1,0 +1,20 @@
+// Loss functions.
+#pragma once
+
+#include "ml/tensor.hpp"
+
+namespace sickle::ml {
+
+/// Mean squared error; grad is dLoss/dPred (mean reduction).
+struct LossResult {
+  double value = 0.0;
+  Tensor grad;
+};
+
+[[nodiscard]] LossResult mse_loss(const Tensor& pred, const Tensor& target);
+[[nodiscard]] LossResult mae_loss(const Tensor& pred, const Tensor& target);
+
+/// Relative L2 error  ||pred - target|| / ||target||  (evaluation metric).
+[[nodiscard]] double relative_l2(const Tensor& pred, const Tensor& target);
+
+}  // namespace sickle::ml

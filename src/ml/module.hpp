@@ -1,0 +1,67 @@
+// Module interface: explicit-backprop neural network layers.
+//
+// Every layer owns its parameters (value + gradient pairs), caches what it
+// needs during forward(), and implements backward() returning the gradient
+// with respect to its input while accumulating parameter gradients.
+// Training mode toggles dropout-style stochastic behaviour.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/tensor.hpp"
+
+namespace sickle::ml {
+
+/// A learnable parameter: value and accumulated gradient.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(Tensor::zeros(value.shape())) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Forward pass; caches activations needed by backward.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Backward pass for the most recent forward() call. Accumulates into
+  /// parameter gradients and returns dLoss/dInput.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// All parameters of this module (recursively for containers).
+  virtual std::vector<Param*> parameters() { return {}; }
+
+  /// Approximate FLOPs of one forward+backward for the most recent input
+  /// (energy accounting; 0 for cheap elementwise layers is acceptable).
+  [[nodiscard]] virtual double flops() const { return 0.0; }
+
+  virtual void set_training(bool training) { training_ = training; }
+  [[nodiscard]] bool training() const noexcept { return training_; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Total scalar parameter count.
+  [[nodiscard]] std::size_t num_parameters() {
+    std::size_t n = 0;
+    for (const Param* p : parameters()) n += p->value.size();
+    return n;
+  }
+
+  void zero_grad() {
+    for (Param* p : parameters()) p->grad.zero();
+  }
+
+ protected:
+  bool training_ = true;
+};
+
+}  // namespace sickle::ml

@@ -1,0 +1,90 @@
+// Optimizers and LR scheduling.
+//
+// The paper trains with Adam (lr = 0.001) plus ReduceLROnPlateau
+// (patience = 20); both are reproduced here, along with plain SGD for
+// tests. Precision emulation (fp16/bf16 weight rounding after each step)
+// implements the paper's --precision flag without mixed-precision
+// hardware.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/module.hpp"
+
+namespace sickle::ml {
+
+/// Weight storage precision emulation.
+enum class Precision { kFp32, kFp16, kBf16 };
+
+/// Round a float to the nearest value representable at `precision`.
+[[nodiscard]] float quantize(float x, Precision precision) noexcept;
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params, double lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad() {
+    for (Param* p : params_) p->grad.zero();
+  }
+
+  [[nodiscard]] double lr() const noexcept { return lr_; }
+  void set_lr(double lr) noexcept { lr_ = lr; }
+  void set_precision(Precision p) noexcept { precision_ = p; }
+
+ protected:
+  void quantize_params();
+
+  std::vector<Param*> params_;
+  double lr_;
+  Precision precision_ = Precision::kFp32;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, double lr, double momentum = 0.0);
+  void step() override;
+
+ private:
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+
+ private:
+  double beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Reduce LR by `factor` after `patience` epochs without improvement.
+class ReduceLROnPlateau {
+ public:
+  ReduceLROnPlateau(Optimizer& opt, double factor = 0.5,
+                    std::size_t patience = 20, double min_lr = 1e-6);
+
+  /// Call once per epoch with the monitored loss; returns true if the LR
+  /// was reduced this call.
+  bool step(double loss);
+
+  [[nodiscard]] double best() const noexcept { return best_; }
+
+ private:
+  Optimizer& opt_;
+  double factor_;
+  std::size_t patience_;
+  double min_lr_;
+  double best_ = 1e30;
+  std::size_t bad_epochs_ = 0;
+};
+
+}  // namespace sickle::ml

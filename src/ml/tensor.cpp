@@ -1,0 +1,109 @@
+#include "ml/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace sickle::ml {
+
+namespace {
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) n *= d;
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  SICKLE_CHECK_MSG(data_.size() == shape_size(shape_),
+                   "tensor data does not match shape");
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+  SICKLE_CHECK_MSG(shape_size(shape) == size(),
+                   "reshape changes element count");
+  return Tensor(std::move(shape), data_);
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data()) {
+    x = static_cast<float>(rng.normal()) * stddev;
+  }
+  return t;
+}
+
+void matmul(std::span<const float> a, std::span<const float> b,
+            std::span<float> c, std::size_t m, std::size_t k, std::size_t n,
+            bool accumulate) {
+  SICKLE_CHECK(a.size() >= m * k && b.size() >= k * n && c.size() >= m * n);
+  if (!accumulate) std::fill(c.begin(), c.begin() + m * n, 0.0f);
+  // ikj loop order: unit-stride inner loop over both B and C.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      if (aip == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void matmul_bt(std::span<const float> a, std::span<const float> b,
+               std::span<float> c, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate) {
+  SICKLE_CHECK(a.size() >= m * k && b.size() >= n * k && c.size() >= m * n);
+  if (!accumulate) std::fill(c.begin(), c.begin() + m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+void matmul_at(std::span<const float> a, std::span<const float> b,
+               std::span<float> c, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate) {
+  SICKLE_CHECK(a.size() >= k * m && b.size() >= k * n && c.size() >= m * n);
+  if (!accumulate) std::fill(c.begin(), c.begin() + m * n, 0.0f);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float api = arow[i];
+      if (api == 0.0f) continue;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+    }
+  }
+}
+
+}  // namespace sickle::ml

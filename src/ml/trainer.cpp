@@ -1,0 +1,174 @@
+#include "ml/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/timer.hpp"
+
+namespace sickle::ml {
+
+void TensorDataset::push(Tensor input, Tensor target) {
+  if (!inputs_.empty()) {
+    SICKLE_CHECK_MSG(input.shape() == inputs_.front().shape() &&
+                         target.shape() == targets_.front().shape(),
+                     "all dataset examples must share shapes");
+  }
+  inputs_.push_back(std::move(input));
+  targets_.push_back(std::move(target));
+}
+
+std::pair<Tensor, Tensor> TensorDataset::batch(
+    std::span<const std::size_t> indices) const {
+  SICKLE_CHECK_MSG(!indices.empty() && !inputs_.empty(),
+                   "cannot build an empty batch");
+  auto in_shape = inputs_.front().shape();
+  auto tg_shape = targets_.front().shape();
+  in_shape.insert(in_shape.begin(), indices.size());
+  tg_shape.insert(tg_shape.begin(), indices.size());
+  Tensor in(in_shape), tg(tg_shape);
+  const std::size_t in_sz = inputs_.front().size();
+  const std::size_t tg_sz = targets_.front().size();
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const std::size_t i = indices[b];
+    std::copy_n(inputs_.at(i).raw(), in_sz, in.raw() + b * in_sz);
+    std::copy_n(targets_.at(i).raw(), tg_sz, tg.raw() + b * tg_sz);
+  }
+  return {std::move(in), std::move(tg)};
+}
+
+double TensorDataset::bytes() const noexcept {
+  if (inputs_.empty()) return 0.0;
+  return static_cast<double>(inputs_.size()) *
+         static_cast<double>(inputs_.front().size() +
+                             targets_.front().size()) *
+         sizeof(float);
+}
+
+namespace {
+
+/// Average gradients across ranks (DDP). Gradients are cast through double
+/// for the allreduce, matching the determinism of the SPMD collectives.
+void allreduce_gradients(Module& model, Comm& comm) {
+  std::vector<double> flat;
+  for (Param* p : model.parameters()) {
+    for (const float g : p->grad.data()) flat.push_back(g);
+  }
+  comm.allreduce_sum(flat);
+  const double inv = 1.0 / static_cast<double>(comm.size());
+  std::size_t pos = 0;
+  for (Param* p : model.parameters()) {
+    for (auto& g : p->grad.data()) {
+      g = static_cast<float>(flat[pos++] * inv);
+    }
+  }
+}
+
+}  // namespace
+
+double evaluate(Module& model, const TensorDataset& data,
+                std::span<const std::size_t> indices,
+                std::size_t batch_size) {
+  if (indices.empty()) return 0.0;
+  model.set_training(false);
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t b = 0; b < indices.size(); b += batch_size) {
+    const std::size_t e = std::min(indices.size(), b + batch_size);
+    const auto [in, tg] =
+        data.batch(indices.subspan(b, e - b));
+    const Tensor pred = model.forward(in);
+    total += mse_loss(pred, tg).value * static_cast<double>(e - b);
+    count += e - b;
+  }
+  model.set_training(true);
+  return total / static_cast<double>(count);
+}
+
+TrainReport fit(Module& model, const TensorDataset& data,
+                const TrainConfig& cfg, Comm* comm) {
+  SICKLE_CHECK_MSG(data.size() >= 2, "dataset too small to split");
+  TrainReport report;
+  Timer timer;
+  report.parameters = model.num_parameters();
+
+  // Deterministic 90:10 split (same permutation on every rank).
+  Rng split_rng(cfg.seed, /*stream=*/0x51);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  split_rng.shuffle(std::span<std::size_t>(order));
+  const auto n_test = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg.test_fraction *
+                                  static_cast<double>(data.size())));
+  const std::size_t n_train = data.size() - n_test;
+  std::vector<std::size_t> train_idx(order.begin(),
+                                     order.begin() + n_train);
+  std::vector<std::size_t> test_idx(order.begin() + n_train, order.end());
+
+  Adam opt(model.parameters(), cfg.lr);
+  opt.set_precision(cfg.precision);
+  ReduceLROnPlateau scheduler(opt, cfg.lr_factor, cfg.patience);
+
+  Rng epoch_rng(cfg.seed, /*stream=*/0xE9);
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    epoch_rng.shuffle(std::span<std::size_t>(train_idx));
+    double epoch_loss = 0.0;
+    std::size_t steps = 0;
+    for (std::size_t b = 0; b < n_train; b += cfg.batch) {
+      const std::size_t e = std::min(n_train, b + cfg.batch);
+      // DDP: shard this batch across ranks.
+      std::size_t lo = b, hi = e;
+      if (comm != nullptr) {
+        const std::size_t span = e - b;
+        const std::size_t per =
+            (span + comm->size() - 1) / comm->size();
+        lo = std::min(e, b + comm->rank() * per);
+        hi = std::min(e, lo + per);
+        if (lo >= hi) {
+          // Idle rank this batch: still participates in the allreduce.
+          model.zero_grad();
+          allreduce_gradients(model, *comm);
+          opt.step();
+          continue;
+        }
+      }
+      const auto [in, tg] = data.batch(
+          std::span<const std::size_t>(train_idx.data() + lo, hi - lo));
+      opt.zero_grad();
+      const Tensor pred = model.forward(in);
+      const LossResult loss = mse_loss(pred, tg);
+      model.backward(loss.grad);
+      if (comm != nullptr) allreduce_gradients(model, *comm);
+      opt.step();
+
+      double batch_loss = loss.value;
+      if (comm != nullptr) {
+        batch_loss = comm->allreduce_sum(batch_loss) /
+                     static_cast<double>(comm->size());
+      }
+      epoch_loss += batch_loss;
+      ++steps;
+      report.energy.add_flops(model.flops());
+      report.energy.add_bytes(
+          static_cast<double>(in.size() + tg.size()) * sizeof(float) * 3.0);
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(1, steps));
+    report.epoch_losses.push_back(epoch_loss);
+    scheduler.step(epoch_loss);
+    if (cfg.verbose && (epoch % 10 == 0 || epoch + 1 == cfg.epochs)) {
+      std::printf("epoch %zu loss %.6f lr %.2e\n", epoch, epoch_loss,
+                  opt.lr());
+    }
+  }
+
+  report.final_train_loss =
+      report.epoch_losses.empty() ? 0.0 : report.epoch_losses.back();
+  report.test_loss = evaluate(model, data,
+                              std::span<const std::size_t>(test_idx),
+                              cfg.batch);
+  report.seconds = timer.seconds();
+  report.energy.add_seconds(report.seconds);
+  return report;
+}
+
+}  // namespace sickle::ml

@@ -1,0 +1,99 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/mathx.hpp"
+
+namespace sickle {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    SICKLE_CHECK_MSG(!stop_, "submit() on stopped pool");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool, std::size_t grain) {
+  parallel_for_range(
+      n,
+      [&fn](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) fn(i);
+      },
+      pool, grain);
+}
+
+void parallel_for_range(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    ThreadPool* pool, std::size_t grain) {
+  if (n == 0) return;
+  if (pool == nullptr) pool = &ThreadPool::global();
+  const std::size_t workers = pool->size();
+  if (n <= grain || workers <= 1) {
+    fn(0, n);
+    return;
+  }
+  // One chunk per worker, but never smaller than the grain.
+  const std::size_t chunks =
+      std::min(workers, std::max<std::size_t>(1, n / grain));
+  const std::size_t step = ceil_div(n, chunks);
+  for (std::size_t b = 0; b < n; b += step) {
+    const std::size_t e = std::min(n, b + step);
+    pool->submit([&fn, b, e] { fn(b, e); });
+  }
+  pool->wait_idle();
+}
+
+}  // namespace sickle

@@ -1,0 +1,63 @@
+// Shared-memory work-queue thread pool and parallel_for.
+//
+// SICKLE's node-level parallelism (clustering, histogramming, tensor ops)
+// runs on this pool; the distributed-memory layer (parallel/world.hpp)
+// layers an SPMD rank model on top. The pool is intentionally simple:
+// FIFO queue, no work stealing — our tasks are coarse, uniform chunks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sickle {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw (they run detached from callers).
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Process-wide default pool (lazily constructed, never destroyed before
+  /// exit).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across the pool in contiguous chunks.
+/// Falls back to a serial loop for tiny n, where task overhead dominates.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool = nullptr, std::size_t grain = 1024);
+
+/// Run fn(begin, end) over chunked ranges — preferred for vectorizable
+/// kernels since the inner loop stays tight.
+void parallel_for_range(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    ThreadPool* pool = nullptr, std::size_t grain = 1024);
+
+}  // namespace sickle

@@ -1,0 +1,214 @@
+#include "sampling/hypercube_selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/kmeans.hpp"
+#include "sampling/point_samplers.hpp"
+#include "stats/entropy.hpp"
+
+namespace sickle::sampling {
+
+namespace {
+
+/// Fit 1D k-means to (a subsample of) the cluster variable.
+cluster::KMeansResult fit_clusters(std::span<const double> cv,
+                                   const HypercubeSelectorConfig& cfg,
+                                   Rng& rng) {
+  cluster::KMeansOptions opts;
+  opts.k = std::max<std::size_t>(2, cfg.num_clusters);
+  opts.max_iterations = 50;
+  const std::size_t n = cv.size();
+  if (n <= cfg.cluster_subsample) {
+    return cluster::minibatch_kmeans(cv, n, 1, opts, rng);
+  }
+  std::vector<double> sub(cfg.cluster_subsample);
+  for (double& x : sub) x = cv[rng.uniform_int(n)];
+  return cluster::minibatch_kmeans(std::span<const double>(sub), sub.size(),
+                                   1, opts, rng);
+}
+
+/// PMF of cluster labels for the points of one cube.
+std::vector<double> cube_label_pmf(const field::Snapshot& snap,
+                                   const field::CubeTiling& tiling,
+                                   std::size_t cube_id,
+                                   const cluster::KMeansResult& clusters,
+                                   const std::string& cluster_var) {
+  const auto indices = tiling.point_indices(tiling.coord(cube_id));
+  const auto data = snap.get(cluster_var).data();
+  std::vector<double> pmf(clusters.k, 0.0);
+  for (const std::size_t idx : indices) {
+    const double v = data[idx];
+    pmf[clusters.assign(std::span<const double>(&v, 1))] += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(indices.size());
+  for (double& p : pmf) p *= inv;
+  return pmf;
+}
+
+/// Strengths from the gathered per-cube PMFs: KL row sums (Eq. 2).
+std::vector<double> strengths_from_pmfs(
+    const std::vector<std::vector<double>>& pmfs) {
+  const auto adjacency =
+      stats::kl_adjacency(std::span<const std::vector<double>>(pmfs));
+  return stats::node_strengths(std::span<const double>(adjacency),
+                               pmfs.size());
+}
+
+/// Per-cube Shannon entropy of the label PMF — the "entropy" weighting
+/// ablation (DESIGN.md §6).
+std::vector<double> entropies_from_pmfs(
+    const std::vector<std::vector<double>>& pmfs) {
+  std::vector<double> out;
+  out.reserve(pmfs.size());
+  for (const auto& p : pmfs) {
+    out.push_back(stats::shannon_entropy(std::span<const double>(p)));
+  }
+  return out;
+}
+
+std::vector<std::size_t> draw_cubes(std::span<const double> weights,
+                                    std::size_t num, Rng& rng) {
+  const std::size_t n = weights.size();
+  const std::size_t k = std::min(num, n);
+  // Guard against all-zero weights (uniform fallback).
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total <= 0.0) {
+    return rng.sample_without_replacement(n, k);
+  }
+  return weighted_sample_without_replacement(weights, k, rng);
+}
+
+void tally_scan(const HypercubeSelectorConfig& cfg, std::size_t points) {
+  if (cfg.energy == nullptr) return;
+  cfg.energy->add_bytes(static_cast<double>(points) * sizeof(double));
+  cfg.energy->add_flops(static_cast<double>(points) *
+                        static_cast<double>(cfg.num_clusters));
+}
+
+}  // namespace
+
+std::vector<double> hypercube_strengths(const field::Snapshot& snap,
+                                        const field::CubeTiling& tiling,
+                                        const HypercubeSelectorConfig& cfg) {
+  Rng rng(cfg.seed, /*stream=*/0x4C);
+  const auto cv = snap.get(cfg.cluster_var).data();
+  const auto clusters = fit_clusters(cv, cfg, rng);
+  std::vector<std::vector<double>> pmfs;
+  pmfs.reserve(tiling.count());
+  for (std::size_t c = 0; c < tiling.count(); ++c) {
+    pmfs.push_back(cube_label_pmf(snap, tiling, c, clusters,
+                                  cfg.cluster_var));
+  }
+  tally_scan(cfg, snap.shape().size());
+  return strengths_from_pmfs(pmfs);
+}
+
+std::vector<std::size_t> select_hypercubes(const field::Snapshot& snap,
+                                           const field::CubeTiling& tiling,
+                                           const HypercubeSelectorConfig& cfg) {
+  Rng rng(cfg.seed, /*stream=*/0xD1);
+  const std::size_t n = tiling.count();
+  const std::size_t k = std::min(cfg.num_hypercubes, n);
+  if (cfg.method == "random") {
+    tally_scan(cfg, 0);
+    return rng.sample_without_replacement(n, k);
+  }
+  SICKLE_CHECK_MSG(cfg.method == "maxent" || cfg.method == "entropy",
+                   "unknown hypercube method: " + cfg.method);
+  const auto cv = snap.get(cfg.cluster_var).data();
+  Rng fit_rng(cfg.seed, /*stream=*/0xF17);
+  const auto clusters = fit_clusters(cv, cfg, fit_rng);
+  std::vector<std::vector<double>> pmfs;
+  pmfs.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    pmfs.push_back(cube_label_pmf(snap, tiling, c, clusters,
+                                  cfg.cluster_var));
+  }
+  tally_scan(cfg, snap.shape().size());
+  const std::vector<double> weights = (cfg.method == "maxent")
+                                          ? strengths_from_pmfs(pmfs)
+                                          : entropies_from_pmfs(pmfs);
+  return draw_cubes(std::span<const double>(weights), k, rng);
+}
+
+std::vector<std::size_t> select_hypercubes(const field::Snapshot& snap,
+                                           const field::CubeTiling& tiling,
+                                           const HypercubeSelectorConfig& cfg,
+                                           Comm& comm) {
+  Rng rng(cfg.seed, /*stream=*/0xD1);
+  const std::size_t n = tiling.count();
+  const std::size_t k = std::min(cfg.num_hypercubes, n);
+  if (cfg.method == "random") {
+    // Deterministic given the seed; every rank computes the same draw.
+    return rng.sample_without_replacement(n, k);
+  }
+  SICKLE_CHECK_MSG(cfg.method == "maxent" || cfg.method == "entropy",
+                   "unknown hypercube method: " + cfg.method);
+
+  // Root fits the clustering (as the reference does), then broadcasts the
+  // centroids so labels are consistent across ranks.
+  const auto cv = snap.get(cfg.cluster_var).data();
+  std::vector<double> centroids;
+  if (comm.is_root()) {
+    Rng fit_rng(cfg.seed, /*stream=*/0xF17);
+    centroids = fit_clusters(cv, cfg, fit_rng).centroids;
+  }
+  comm.broadcast(centroids, 0);
+  cluster::KMeansResult clusters;
+  clusters.k = centroids.size();
+  clusters.dims = 1;
+  clusters.centroids = centroids;
+
+  // Each rank computes PMFs for its block of cubes; flatten for allgather.
+  const auto [begin, end] = comm.block_range(n);
+  std::vector<double> local_flat;
+  local_flat.reserve((end - begin) * clusters.k);
+  for (std::size_t c = begin; c < end; ++c) {
+    const auto pmf = cube_label_pmf(snap, tiling, c, clusters,
+                                    cfg.cluster_var);
+    local_flat.insert(local_flat.end(), pmf.begin(), pmf.end());
+  }
+  if (cfg.energy != nullptr) {
+    const double pts = static_cast<double>(end - begin) *
+                       static_cast<double>(tiling.spec().points());
+    cfg.energy->add_bytes(pts * sizeof(double));
+    cfg.energy->add_flops(pts * static_cast<double>(clusters.k));
+  }
+  const std::vector<double> all_flat = comm.allgather(local_flat);
+  SICKLE_CHECK(all_flat.size() == n * clusters.k);
+  std::vector<std::vector<double>> pmfs(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    pmfs[c].assign(all_flat.begin() + c * clusters.k,
+                   all_flat.begin() + (c + 1) * clusters.k);
+  }
+
+  // The O(n_cubes^2) KL adjacency is the selector's dominant cost at
+  // scale, so it is row-decomposed too: each rank reduces its block of
+  // rows to node strengths (or entropies) and the strengths are
+  // allgathered. Every rank then performs the identical weighted draw.
+  std::vector<double> local_weights;
+  local_weights.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    if (cfg.method == "maxent") {
+      double row = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) {
+          row += stats::kl_divergence(std::span<const double>(pmfs[i]),
+                                      std::span<const double>(pmfs[j]));
+        }
+      }
+      local_weights.push_back(row);
+    } else {
+      local_weights.push_back(
+          stats::shannon_entropy(std::span<const double>(pmfs[i])));
+    }
+  }
+  const std::vector<double> weights = comm.allgather(local_weights);
+  SICKLE_CHECK(weights.size() == n);
+  // Same RNG state on all ranks -> identical selection everywhere.
+  return draw_cubes(std::span<const double>(weights), k, rng);
+}
+
+}  // namespace sickle::sampling

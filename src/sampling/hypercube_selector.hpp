@@ -1,0 +1,53 @@
+// Phase-1 hypercube selection (the paper's H* methods).
+//
+// Hrandom draws cubes uniformly; Hmaxent follows Fig. 3's left column:
+//   1. MiniBatchKMeans on the cluster variable over the whole snapshot
+//      (subsampled for tractability);
+//   2. per-cube PMFs over the cluster labels;
+//   3. KL adjacency between cube distributions, node strengths (Eq. 2);
+//   4. entropy/strength-weighted random draw of num_hypercubes cubes.
+//
+// The SPMD variant decomposes step 2 over ranks (each rank owns a block of
+// cubes), allgathers the PMFs, and every rank performs the identical
+// weighted draw — making the selection independent of rank count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "energy/energy.hpp"
+#include "field/hypercube.hpp"
+#include "parallel/world.hpp"
+
+namespace sickle::sampling {
+
+struct HypercubeSelectorConfig {
+  std::string method = "maxent";    ///< "random" | "maxent" | "entropy"
+  std::size_t num_hypercubes = 32;
+  std::string cluster_var;
+  std::size_t num_clusters = 20;
+  std::size_t cluster_subsample = 65536;  ///< points used to fit k-means
+  std::uint64_t seed = 0;
+  energy::EnergyCounter* energy = nullptr;
+};
+
+/// Select cube flat-ids from the tiling of `snap`. Serial entry point.
+[[nodiscard]] std::vector<std::size_t> select_hypercubes(
+    const field::Snapshot& snap, const field::CubeTiling& tiling,
+    const HypercubeSelectorConfig& cfg);
+
+/// SPMD entry point: must be called by every rank of `comm` collectively;
+/// all ranks return the identical selection.
+[[nodiscard]] std::vector<std::size_t> select_hypercubes(
+    const field::Snapshot& snap, const field::CubeTiling& tiling,
+    const HypercubeSelectorConfig& cfg, Comm& comm);
+
+/// Per-cube node strengths (exposed for tests/ablation): strength[i] is the
+/// KL row sum of cube i's cluster-label PMF against all other cubes.
+[[nodiscard]] std::vector<double> hypercube_strengths(
+    const field::Snapshot& snap, const field::CubeTiling& tiling,
+    const HypercubeSelectorConfig& cfg);
+
+}  // namespace sickle::sampling

@@ -1,0 +1,201 @@
+#include "sampling/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+#include "sampling/hypercube_selector.hpp"
+#include "sampling/point_samplers.hpp"
+
+namespace sickle::sampling {
+
+std::vector<std::string> pipeline_variables(const PipelineConfig& cfg) {
+  std::vector<std::string> vars;
+  auto push_unique = [&vars](const std::string& v) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  };
+  for (const auto& v : cfg.input_vars) push_unique(v);
+  for (const auto& v : cfg.output_vars) push_unique(v);
+  if (!cfg.cluster_var.empty()) push_unique(cfg.cluster_var);
+  SICKLE_CHECK_MSG(!vars.empty(), "pipeline needs at least one variable");
+  return vars;
+}
+
+SampleSet PipelineResult::merged() const {
+  SampleSet out;
+  for (const auto& c : cubes) out.append(c.samples);
+  return out;
+}
+
+std::size_t PipelineResult::total_points() const {
+  std::size_t n = 0;
+  for (const auto& c : cubes) n += c.samples.points();
+  return n;
+}
+
+namespace {
+
+SamplerContext make_context(const PipelineConfig& cfg,
+                            energy::EnergyCounter* energy) {
+  SamplerContext ctx;
+  ctx.phase_variables = cfg.input_vars;
+  ctx.cluster_var = cfg.cluster_var;
+  ctx.num_samples = cfg.num_samples;
+  ctx.num_clusters = cfg.num_clusters;
+  ctx.pdf_bins = cfg.pdf_bins;
+  ctx.energy = energy;
+  return ctx;
+}
+
+HypercubeSelectorConfig make_selector_config(const PipelineConfig& cfg,
+                                             energy::EnergyCounter* energy) {
+  HypercubeSelectorConfig sel;
+  sel.method = cfg.hypercube_method;
+  sel.num_hypercubes = cfg.num_hypercubes;
+  sel.cluster_var = cfg.cluster_var;
+  sel.num_clusters = cfg.num_clusters;
+  sel.seed = cfg.seed;
+  sel.energy = energy;
+  return sel;
+}
+
+/// Extract + subsample one cube. The per-cube RNG is forked from the seed
+/// and the (snapshot, cube) pair so results do not depend on processing
+/// order or rank decomposition.
+CubeSamples sample_one_cube(const field::Snapshot& snap,
+                            const field::CubeTiling& tiling,
+                            std::size_t snapshot_index, std::size_t cube_id,
+                            const PipelineConfig& cfg,
+                            const PointSampler& sampler,
+                            const SamplerContext& ctx) {
+  const auto vars = pipeline_variables(cfg);
+  const field::Hypercube cube = field::extract_cube(
+      snap, tiling, tiling.coord(cube_id),
+      std::span<const std::string>(vars));
+
+  Rng rng = Rng(cfg.seed).fork(snapshot_index * 1000003 + cube_id);
+  const std::vector<std::size_t> local = sampler.select(cube, ctx, rng);
+
+  CubeSamples out;
+  out.snapshot = snapshot_index;
+  out.cube_id = cube_id;
+  out.samples.variables = vars;
+  out.samples.indices.reserve(local.size());
+  out.samples.features.reserve(local.size() * vars.size());
+  for (const std::size_t p : local) {
+    out.samples.indices.push_back(cube.indices[p]);
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      out.samples.features.push_back(cube.values[v][p]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const field::Snapshot& snap,
+                            const PipelineConfig& cfg) {
+  PipelineResult result;
+  Timer timer;
+  const field::CubeTiling tiling(snap.shape(), cfg.cube);
+  const auto cube_ids = select_hypercubes(
+      snap, tiling, make_selector_config(cfg, &result.energy));
+  const auto sampler = SamplerRegistry::instance().create(cfg.point_method);
+  const SamplerContext ctx = make_context(cfg, &result.energy);
+  for (const std::size_t cube_id : cube_ids) {
+    result.cubes.push_back(
+        sample_one_cube(snap, tiling, 0, cube_id, cfg, *sampler, ctx));
+  }
+  result.sampling_seconds = timer.seconds();
+  result.energy.add_seconds(result.sampling_seconds);
+  return result;
+}
+
+PipelineResult run_pipeline(const field::Dataset& dataset,
+                            const PipelineConfig& cfg) {
+  PipelineResult result;
+  Timer timer;
+  const field::CubeTiling tiling(dataset.shape(), cfg.cube);
+  const auto sampler = SamplerRegistry::instance().create(cfg.point_method);
+  const SamplerContext ctx = make_context(cfg, &result.energy);
+  for (std::size_t t = 0; t < dataset.num_snapshots(); ++t) {
+    const auto& snap = dataset.snapshot(t);
+    auto sel_cfg = make_selector_config(cfg, &result.energy);
+    sel_cfg.seed = cfg.seed + t;  // fresh cube draw per snapshot
+    const auto cube_ids = select_hypercubes(snap, tiling, sel_cfg);
+    for (const std::size_t cube_id : cube_ids) {
+      result.cubes.push_back(
+          sample_one_cube(snap, tiling, t, cube_id, cfg, *sampler, ctx));
+    }
+  }
+  result.sampling_seconds = timer.seconds();
+  result.energy.add_seconds(result.sampling_seconds);
+  return result;
+}
+
+PipelineResult run_pipeline(const field::Snapshot& snap,
+                            const PipelineConfig& cfg, Comm& comm) {
+  PipelineResult result;
+  Timer timer;
+  const field::CubeTiling tiling(snap.shape(), cfg.cube);
+  const auto cube_ids = select_hypercubes(
+      snap, tiling, make_selector_config(cfg, &result.energy), comm);
+  const auto sampler = SamplerRegistry::instance().create(cfg.point_method);
+  const SamplerContext ctx = make_context(cfg, &result.energy);
+
+  // Block-decompose the selected cubes over ranks.
+  const auto [begin, end] = comm.block_range(cube_ids.size());
+  std::vector<CubeSamples> local;
+  local.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    local.push_back(
+        sample_one_cube(snap, tiling, 0, cube_ids[i], cfg, *sampler, ctx));
+  }
+
+  // Exchange: flatten local samples (cube_id, n, indices, features) and
+  // allgather so every rank holds the full result.
+  std::vector<std::size_t> meta;   // [cube_id, npoints] pairs
+  std::vector<std::size_t> idx_flat;
+  std::vector<double> feat_flat;
+  for (const auto& c : local) {
+    meta.push_back(c.cube_id);
+    meta.push_back(c.samples.points());
+    idx_flat.insert(idx_flat.end(), c.samples.indices.begin(),
+                    c.samples.indices.end());
+    feat_flat.insert(feat_flat.end(), c.samples.features.begin(),
+                     c.samples.features.end());
+  }
+  const auto all_meta = comm.allgather(meta);
+  const auto all_idx = comm.allgather(idx_flat);
+  const auto all_feat = comm.allgather(feat_flat);
+
+  const auto vars = pipeline_variables(cfg);
+  const std::size_t dims = vars.size();
+  std::size_t idx_pos = 0, feat_pos = 0;
+  for (std::size_t m = 0; m + 1 < all_meta.size(); m += 2) {
+    CubeSamples c;
+    c.snapshot = 0;
+    c.cube_id = all_meta[m];
+    const std::size_t npts = all_meta[m + 1];
+    c.samples.variables = vars;
+    c.samples.indices.assign(all_idx.begin() + idx_pos,
+                             all_idx.begin() + idx_pos + npts);
+    c.samples.features.assign(all_feat.begin() + feat_pos,
+                              all_feat.begin() + feat_pos + npts * dims);
+    idx_pos += npts;
+    feat_pos += npts * dims;
+    result.cubes.push_back(std::move(c));
+  }
+  // Deterministic ordering regardless of rank interleaving.
+  std::sort(result.cubes.begin(), result.cubes.end(),
+            [](const CubeSamples& a, const CubeSamples& b) {
+              return a.cube_id < b.cube_id;
+            });
+
+  result.sampling_seconds = timer.seconds();
+  result.energy.add_seconds(result.sampling_seconds);
+  return result;
+}
+
+}  // namespace sickle::sampling

@@ -1,0 +1,78 @@
+// Two-phase sampling pipeline (the paper's subsample.py equivalent).
+//
+// Combines phase-1 hypercube selection (H*) with phase-2 point sampling
+// (X*) over one snapshot or a whole dataset, with optional SPMD
+// parallelism over cubes and energy accounting. The five Slurm cases of
+// Figs. 7–8 map to PipelineConfig as:
+//   Hmaxent-Xmaxent  {hypercube_method=maxent, point_method=maxent}
+//   Hmaxent-Xuips    {maxent, uips}
+//   Hrandom-Xfull    {random, full}
+//   Hrandom-Xmaxent  {random, maxent}
+//   Hrandom-Xuips    {random, uips}
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "energy/energy.hpp"
+#include "field/field.hpp"
+#include "field/hypercube.hpp"
+#include "parallel/world.hpp"
+#include "sampling/sample_set.hpp"
+
+namespace sickle::sampling {
+
+struct PipelineConfig {
+  field::CubeSpec cube;                 ///< --nxsl/--nysl/--nzsl
+  std::string hypercube_method = "maxent";  ///< --hypercubes
+  std::string point_method = "maxent";      ///< --method
+  std::size_t num_hypercubes = 32;          ///< --num_hypercubes
+  std::size_t num_samples = 3277;           ///< --num_samples (per cube)
+  std::size_t num_clusters = 20;            ///< --num_clusters
+  std::vector<std::string> input_vars;      ///< --input_vars
+  std::vector<std::string> output_vars;     ///< --output_vars
+  std::string cluster_var;                  ///< --cluster_var
+  std::size_t pdf_bins = 10;                ///< UIPS bins per axis
+  std::uint64_t seed = 42;
+};
+
+/// Samples extracted from one cube of one snapshot.
+struct CubeSamples {
+  std::size_t snapshot = 0;
+  std::size_t cube_id = 0;
+  SampleSet samples;  ///< variables = input_vars + output_vars + cluster_var
+};
+
+struct PipelineResult {
+  std::vector<CubeSamples> cubes;
+  double sampling_seconds = 0.0;
+  energy::EnergyCounter energy;
+
+  /// All samples of one snapshot concatenated.
+  [[nodiscard]] SampleSet merged() const;
+  [[nodiscard]] std::size_t total_points() const;
+};
+
+/// Serial pipeline over one snapshot.
+[[nodiscard]] PipelineResult run_pipeline(const field::Snapshot& snap,
+                                          const PipelineConfig& cfg);
+
+/// Serial pipeline over every snapshot of a dataset.
+[[nodiscard]] PipelineResult run_pipeline(const field::Dataset& dataset,
+                                          const PipelineConfig& cfg);
+
+/// SPMD pipeline: collective over `comm`; cube work is block-decomposed
+/// over ranks and results are allgathered, so every rank returns the full
+/// result. The selection is identical for every rank count (deterministic
+/// counter RNG keyed by cube id).
+[[nodiscard]] PipelineResult run_pipeline(const field::Snapshot& snap,
+                                          const PipelineConfig& cfg,
+                                          Comm& comm);
+
+/// Variables a cube extraction must carry for this config (input + output +
+/// cluster var, deduplicated, order-stable).
+[[nodiscard]] std::vector<std::string> pipeline_variables(
+    const PipelineConfig& cfg);
+
+}  // namespace sickle::sampling

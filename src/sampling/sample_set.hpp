@@ -1,0 +1,58 @@
+// Sampled-point containers shared by the sampling pipeline and trainers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sickle::sampling {
+
+/// A set of selected points with their feature vectors.
+///
+/// `indices` are global flat grid indices into the source snapshot;
+/// `features` is row-major [points][variables.size()].
+struct SampleSet {
+  std::vector<std::string> variables;
+  std::vector<std::size_t> indices;
+  std::vector<double> features;
+
+  [[nodiscard]] std::size_t points() const noexcept { return indices.size(); }
+  [[nodiscard]] std::size_t dims() const noexcept { return variables.size(); }
+
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    SICKLE_CHECK(i < points());
+    return std::span<const double>(features.data() + i * dims(), dims());
+  }
+
+  /// Column extraction (all samples of one variable).
+  [[nodiscard]] std::vector<double> column(const std::string& var) const {
+    std::size_t v = 0;
+    for (; v < variables.size(); ++v) {
+      if (variables[v] == var) break;
+    }
+    SICKLE_CHECK_MSG(v < variables.size(), "unknown sample variable: " + var);
+    std::vector<double> out;
+    out.reserve(points());
+    for (std::size_t i = 0; i < points(); ++i) {
+      out.push_back(features[i * dims() + v]);
+    }
+    return out;
+  }
+
+  /// Append another sample set with identical variables.
+  void append(const SampleSet& other) {
+    if (variables.empty() && indices.empty()) {
+      variables = other.variables;
+    }
+    SICKLE_CHECK_MSG(variables == other.variables,
+                     "appending sample sets with different variables");
+    indices.insert(indices.end(), other.indices.begin(), other.indices.end());
+    features.insert(features.end(), other.features.begin(),
+                    other.features.end());
+  }
+};
+
+}  // namespace sickle::sampling

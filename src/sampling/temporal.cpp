@@ -1,0 +1,98 @@
+#include "sampling/temporal.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/mathx.hpp"
+#include "stats/entropy.hpp"
+#include "stats/histogram.hpp"
+
+namespace sickle::sampling {
+
+namespace {
+
+/// Shared-range PMFs: all snapshots binned over the global min/max so JS
+/// distances are comparable.
+std::vector<std::vector<double>> snapshot_pmfs(const field::Dataset& dataset,
+                                               const TemporalConfig& cfg) {
+  SICKLE_CHECK_MSG(dataset.num_snapshots() > 0, "empty dataset");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < dataset.num_snapshots(); ++t) {
+    const auto [l, h] =
+        min_max(dataset.snapshot(t).get(cfg.variable).data());
+    lo = std::min(lo, l);
+    hi = std::max(hi, h);
+  }
+  if (!(hi > lo)) {
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  std::vector<std::vector<double>> pmfs;
+  pmfs.reserve(dataset.num_snapshots());
+  for (std::size_t t = 0; t < dataset.num_snapshots(); ++t) {
+    stats::Histogram h(lo, hi, cfg.bins);
+    h.add(dataset.snapshot(t).get(cfg.variable).data());
+    pmfs.push_back(h.pmf());
+  }
+  return pmfs;
+}
+
+}  // namespace
+
+std::vector<std::size_t> select_snapshots(const field::Dataset& dataset,
+                                          const TemporalConfig& cfg) {
+  const auto pmfs = snapshot_pmfs(dataset, cfg);
+  const std::size_t n = pmfs.size();
+  const std::size_t k = std::min(cfg.num_snapshots, n);
+
+  std::vector<std::size_t> selected{0};
+  std::vector<bool> taken(n, false);
+  taken[0] = true;
+  // min distance from each snapshot to the selected set
+  std::vector<double> min_dist(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (!taken[t]) {
+      min_dist[t] = stats::js_divergence(std::span<const double>(pmfs[t]),
+                                         std::span<const double>(pmfs[0]));
+    }
+  }
+  while (selected.size() < k) {
+    // Farthest-point (max-min) greedy step.
+    std::size_t best = 0;
+    double best_d = -1.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!taken[t] && min_dist[t] > best_d) {
+        best_d = min_dist[t];
+        best = t;
+      }
+    }
+    taken[best] = true;
+    selected.push_back(best);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (taken[t]) continue;
+      min_dist[t] = std::min(
+          min_dist[t],
+          stats::js_divergence(std::span<const double>(pmfs[t]),
+                               std::span<const double>(pmfs[best])));
+    }
+  }
+  return selected;
+}
+
+std::vector<double> snapshot_novelty(const field::Dataset& dataset,
+                                     const TemporalConfig& cfg,
+                                     std::size_t reference) {
+  const auto pmfs = snapshot_pmfs(dataset, cfg);
+  SICKLE_CHECK(reference < pmfs.size());
+  std::vector<double> out;
+  out.reserve(pmfs.size());
+  for (const auto& p : pmfs) {
+    out.push_back(stats::js_divergence(std::span<const double>(p),
+                                       std::span<const double>(pmfs[reference])));
+  }
+  return out;
+}
+
+}  // namespace sickle::sampling

@@ -1,0 +1,36 @@
+// Temporal snapshot selection (paper §4.3).
+//
+// Periodic flows (e.g. OF2D's vortex shedding) produce snapshots whose
+// input PDFs repeat; training on all of them adds no information. The
+// temporal sampler scores each snapshot's input PDF against the already
+// selected set and keeps only snapshots that expand coverage:
+// greedy max-min Jensen–Shannon selection.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace sickle::sampling {
+
+struct TemporalConfig {
+  std::string variable;        ///< variable whose PDF drives novelty
+  std::size_t num_snapshots = 10;  ///< snapshots to keep
+  std::size_t bins = 100;
+};
+
+/// Greedy selection: start from the first snapshot, repeatedly add the
+/// snapshot whose PDF is farthest (min-JS over selected) from the current
+/// set. Returns selected snapshot indices in selection order.
+[[nodiscard]] std::vector<std::size_t> select_snapshots(
+    const field::Dataset& dataset, const TemporalConfig& cfg);
+
+/// Per-snapshot novelty scores against a fixed reference snapshot's PDF
+/// (exposed for diagnostics and tests).
+[[nodiscard]] std::vector<double> snapshot_novelty(
+    const field::Dataset& dataset, const TemporalConfig& cfg,
+    std::size_t reference = 0);
+
+}  // namespace sickle::sampling

@@ -1,0 +1,293 @@
+#include "sickle/case.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "field/hypercube.hpp"
+#include "ml/models.hpp"
+#include "sampling/point_samplers.hpp"
+
+namespace sickle {
+
+namespace {
+
+/// Per-variable affine scaler (global z-score). All training tensors are
+/// standardized so losses are comparable across datasets and targets with
+/// large physical magnitudes (eps, pv) train properly.
+struct VarScaler {
+  double mean = 0.0;
+  double inv_std = 1.0;
+  [[nodiscard]] float apply(double x) const noexcept {
+    return static_cast<float>((x - mean) * inv_std);
+  }
+};
+
+std::map<std::string, VarScaler> fit_scalers(
+    const field::Dataset& data, std::span<const std::string> vars) {
+  std::map<std::string, VarScaler> out;
+  for (const auto& var : vars) {
+    double sum = 0.0, sq = 0.0;
+    std::size_t n = 0;
+    for (std::size_t t = 0; t < data.num_snapshots(); ++t) {
+      for (const double x : data.snapshot(t).get(var).data()) {
+        sum += x;
+        sq += x * x;
+        ++n;
+      }
+    }
+    VarScaler s;
+    s.mean = sum / static_cast<double>(n);
+    const double var_x =
+        std::max(sq / static_cast<double>(n) - s.mean * s.mean, 1e-24);
+    s.inv_std = 1.0 / std::sqrt(var_x);
+    out[var] = s;
+  }
+  return out;
+}
+
+/// Dense standardized values of `vars` inside a cube, as a
+/// [C, E, E, E]-ordered flat vector (channel-major over the cube's
+/// z-fastest point order).
+std::vector<float> dense_cube(const field::Snapshot& snap,
+                              const field::CubeTiling& tiling,
+                              std::size_t cube_id,
+                              std::span<const std::string> vars,
+                              const std::map<std::string, VarScaler>& sc) {
+  const auto cube = field::extract_cube(snap, tiling,
+                                        tiling.coord(cube_id), vars);
+  std::vector<float> out;
+  out.reserve(vars.size() * cube.points());
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    const VarScaler& s = sc.at(vars[v]);
+    for (std::size_t p = 0; p < cube.points(); ++p) {
+      out.push_back(s.apply(cube.values[v][p]));
+    }
+  }
+  return out;
+}
+
+/// Sampled, standardized input features of a cube as a fixed-length
+/// [C * N] row (variable-major). Pads by cycling when fewer than N samples
+/// exist.
+std::vector<float> sampled_row(const sampling::CubeSamples& cs,
+                               std::span<const std::string> input_vars,
+                               std::size_t n_points,
+                               const std::map<std::string, VarScaler>& sc) {
+  std::vector<float> row;
+  row.reserve(input_vars.size() * n_points);
+  const std::size_t have = cs.samples.points();
+  SICKLE_CHECK_MSG(have > 0, "cube produced no samples");
+  for (const auto& var : input_vars) {
+    const auto col = cs.samples.column(var);
+    const VarScaler& s = sc.at(var);
+    for (std::size_t i = 0; i < n_points; ++i) {
+      row.push_back(s.apply(col[i % have]));
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+ml::TensorDataset build_training_set(const DatasetBundle& bundle,
+                                     const sampling::PipelineResult& sampled,
+                                     const CaseConfig& cfg) {
+  const auto& pl = cfg.pipeline;
+  const field::CubeTiling tiling(bundle.data.shape(), pl.cube);
+  const std::size_t edge = pl.cube.ex;
+  SICKLE_CHECK_MSG(pl.cube.ex == pl.cube.ey && pl.cube.ex == pl.cube.ez,
+                   "training cubes must be isotropic (E^3)");
+  ml::TensorDataset out;
+  const std::size_t c_out = cfg.pipeline.output_vars.size();
+  SICKLE_CHECK_MSG(c_out > 0, "training needs output_vars");
+
+  // Global z-score scalers over every variable involved.
+  std::vector<std::string> all_vars = pl.input_vars;
+  all_vars.insert(all_vars.end(), pl.output_vars.begin(),
+                  pl.output_vars.end());
+  const auto scalers =
+      fit_scalers(bundle.data, std::span<const std::string>(all_vars));
+
+  for (const auto& cs : sampled.cubes) {
+    const auto& snap = bundle.data.snapshot(cs.snapshot);
+    // Target: dense standardized output cube.
+    auto tgt = dense_cube(snap, tiling, cs.cube_id,
+                          std::span<const std::string>(pl.output_vars),
+                          scalers);
+    ml::Tensor target({c_out, edge, edge, edge}, std::move(tgt));
+
+    if (cfg.arch == "MLP_Transformer") {
+      const std::size_t n = pl.num_samples;
+      const std::size_t f = pl.input_vars.size() * n;
+      std::vector<float> in;
+      in.reserve(cfg.window * f);
+      // Window: this cube's samples from the `window` most recent
+      // snapshots (repeating the earliest when history is short).
+      for (std::size_t w = 0; w < cfg.window; ++w) {
+        // For window 1 this is just cs itself.
+        const auto row = sampled_row(cs, pl.input_vars, n, scalers);
+        in.insert(in.end(), row.begin(), row.end());
+      }
+      out.push(ml::Tensor({cfg.window, f}, std::move(in)),
+               std::move(target));
+    } else if (cfg.arch == "CNN_Transformer") {
+      auto in = dense_cube(snap, tiling, cs.cube_id,
+                           std::span<const std::string>(pl.input_vars),
+                           scalers);
+      std::vector<float> seq;
+      seq.reserve(cfg.window * in.size());
+      for (std::size_t w = 0; w < cfg.window; ++w) {
+        seq.insert(seq.end(), in.begin(), in.end());
+      }
+      out.push(ml::Tensor({cfg.window, pl.input_vars.size(), edge, edge,
+                           edge},
+                          std::move(seq)),
+               std::move(target));
+    } else if (cfg.arch == "Foundation") {
+      auto in = dense_cube(snap, tiling, cs.cube_id,
+                           std::span<const std::string>(pl.input_vars),
+                           scalers);
+      out.push(ml::Tensor({pl.input_vars.size(), edge, edge, edge},
+                          std::move(in)),
+               std::move(target));
+    } else {
+      throw RuntimeError("build_training_set: unsupported arch " + cfg.arch);
+    }
+  }
+  return out;
+}
+
+CaseReport run_case(const DatasetBundle& bundle, CaseConfig cfg) {
+  // Fill variable roles from the bundle when the config left them empty.
+  auto& pl = cfg.pipeline;
+  if (pl.input_vars.empty()) pl.input_vars = bundle.input_vars;
+  if (pl.output_vars.empty()) pl.output_vars = bundle.output_vars;
+  if (pl.cluster_var.empty()) pl.cluster_var = bundle.cluster_var;
+
+  CaseReport report;
+  const sampling::PipelineResult sampled = run_pipeline(bundle.data, pl);
+  report.sampled_points = sampled.total_points();
+  report.sampling_seconds = sampled.sampling_seconds;
+  // Node-projected energy: static power charged against roofline node
+  // time, so ratios between cases track data volume and compute — the
+  // regime the paper measures (see energy::EnergyModel).
+  report.sampling_kilojoules = sampled.energy.projected_kilojoules();
+
+  const ml::TensorDataset data = build_training_set(bundle, sampled, cfg);
+
+  Rng rng(cfg.train.seed, /*stream=*/0x40DE1);
+  std::unique_ptr<ml::Module> model;
+  const std::size_t edge = pl.cube.ex;
+  if (cfg.arch == "MLP_Transformer") {
+    ml::MlpTransformerConfig mc;
+    mc.in_channels = pl.input_vars.size();
+    mc.num_points = pl.num_samples;
+    mc.dim = cfg.model_dim;
+    mc.heads = cfg.model_heads;
+    mc.layers = cfg.model_layers;
+    mc.ffn = 2 * cfg.model_dim;
+    mc.out_channels = pl.output_vars.size();
+    mc.out_edge = edge;
+    model = std::make_unique<ml::MlpTransformer>(mc, rng);
+  } else if (cfg.arch == "CNN_Transformer") {
+    ml::CnnTransformerConfig cc;
+    cc.in_channels = pl.input_vars.size();
+    cc.edge = edge;
+    cc.dim = cfg.model_dim;
+    cc.heads = cfg.model_heads;
+    cc.layers = cfg.model_layers;
+    cc.ffn = 2 * cfg.model_dim;
+    cc.out_channels = pl.output_vars.size();
+    cc.out_edge = edge;
+    // Full-full runs are attention-dominated in the paper (quadratic in
+    // token count); fine tokenization reproduces that cost profile.
+    cc.fine_tokens = true;
+    model = std::make_unique<ml::CnnTransformer>(cc, rng);
+  } else if (cfg.arch == "Foundation") {
+    ml::FoundationModelConfig fc;
+    fc.in_channels = pl.input_vars.size();
+    fc.edge = edge;
+    fc.patch = std::max<std::size_t>(2, edge / 4);
+    fc.dim = cfg.model_dim;
+    fc.heads = cfg.model_heads;
+    fc.layers = cfg.model_layers;
+    fc.ffn = 2 * cfg.model_dim;
+    fc.out_channels = pl.output_vars.size();
+    model = std::make_unique<ml::FoundationModel>(fc, rng);
+  } else {
+    throw RuntimeError("run_case: unsupported arch " + cfg.arch);
+  }
+
+  report.train = ml::fit(*model, data, cfg.train);
+  report.training_kilojoules = report.train.energy.projected_kilojoules();
+  return report;
+}
+
+ml::TensorDataset build_drag_dataset(const DatasetBundle& bundle,
+                                     const std::string& method,
+                                     std::size_t ns, std::size_t window,
+                                     std::uint64_t seed,
+                                     energy::EnergyCounter* energy) {
+  SICKLE_CHECK_MSG(!bundle.scalar_target.empty(),
+                   "dataset has no scalar target (need OF2D)");
+  SICKLE_CHECK_MSG(bundle.data.num_snapshots() == bundle.scalar_target.size(),
+                   "target length mismatch");
+  const auto& shape = bundle.data.shape();
+  // Treat the whole field as one "cube" so every sampler applies directly.
+  field::CubeSpec spec{shape.nx, shape.ny, shape.nz};
+  const field::CubeTiling tiling(shape, spec);
+  auto sampler = sampling::SamplerRegistry::instance().create(method);
+
+  sampling::SamplerContext ctx;
+  ctx.phase_variables = bundle.input_vars;
+  ctx.cluster_var = bundle.cluster_var;
+  ctx.num_samples = ns;
+  ctx.num_clusters = 10;
+  ctx.energy = energy;
+
+  std::vector<std::string> vars = bundle.input_vars;
+  if (!bundle.cluster_var.empty() &&
+      std::find(vars.begin(), vars.end(), bundle.cluster_var) == vars.end()) {
+    vars.push_back(bundle.cluster_var);
+  }
+
+  // Fixed sample locations per snapshot (chosen on the first snapshot) so
+  // the LSTM sees consistent "sensors" across the window — matching the
+  // sparse-sensor framing of the paper's sample-single problem.
+  const field::Hypercube first = field::extract_cube(
+      bundle.data.snapshot(0), tiling, {0, 0, 0},
+      std::span<const std::string>(vars));
+  Rng rng = Rng(seed).fork(0xD7A6);
+  std::vector<std::size_t> locations = sampler->select(first, ctx, rng);
+  std::sort(locations.begin(), locations.end());
+
+  const std::size_t c = bundle.input_vars.size();
+  const std::size_t f = c * locations.size();
+  ml::TensorDataset out;
+  const std::size_t steps = bundle.data.num_snapshots();
+  for (std::size_t t = 0; t + window <= steps; ++t) {
+    std::vector<float> in;
+    in.reserve(window * f);
+    for (std::size_t w = 0; w < window; ++w) {
+      const auto& snap = bundle.data.snapshot(t + w);
+      for (const auto& var : bundle.input_vars) {
+        const auto data = snap.get(var).data();
+        for (const std::size_t loc : locations) {
+          in.push_back(static_cast<float>(data[loc]));
+        }
+      }
+      if (energy != nullptr) {
+        energy->add_bytes(static_cast<double>(f) * sizeof(double));
+      }
+    }
+    const auto target =
+        static_cast<float>(bundle.scalar_target[t + window - 1]);
+    out.push(ml::Tensor({window, f}, std::move(in)),
+             ml::Tensor({1, 1}, {target}));
+  }
+  return out;
+}
+
+}  // namespace sickle

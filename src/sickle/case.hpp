@@ -1,0 +1,60 @@
+// Case runner: subsample -> train -> evaluate, the paper's T1 -> T2 -> T3
+// workflow driven by one config.
+#pragma once
+
+#include <string>
+
+#include "ml/trainer.hpp"
+#include "sampling/pipeline.hpp"
+#include "sickle/dataset_zoo.hpp"
+
+namespace sickle {
+
+struct CaseConfig {
+  sampling::PipelineConfig pipeline;
+  /// "LSTM" | "MLP_Transformer" | "CNN_Transformer" | "Foundation"
+  std::string arch = "MLP_Transformer";
+  ml::TrainConfig train;
+  std::size_t window = 1;   ///< input sequence length T
+  std::size_t model_dim = 32;
+  std::size_t model_heads = 4;
+  std::size_t model_layers = 1;
+};
+
+struct CaseReport {
+  std::size_t sampled_points = 0;
+  double sampling_seconds = 0.0;
+  double sampling_kilojoules = 0.0;
+  ml::TrainReport train;
+  double training_kilojoules = 0.0;
+
+  [[nodiscard]] double total_kilojoules() const noexcept {
+    return sampling_kilojoules + training_kilojoules;
+  }
+};
+
+/// Run the full pipeline on a generated dataset bundle. The bundle's
+/// variable roles fill the pipeline config's variable lists when empty.
+[[nodiscard]] CaseReport run_case(const DatasetBundle& bundle,
+                                  CaseConfig cfg);
+
+/// Build the supervised TensorDataset for a given architecture from the
+/// sampling result (exposed for tests and custom training loops).
+///
+/// MLP_Transformer: input [T=window, C*N] sampled points; target dense
+///   output cube [C', E, E, E] of the same (snapshot, cube).
+/// CNN_Transformer / Foundation: input dense cube(s); target dense output
+///   cube. Foundation input drops the time axis ([C, E, E, E]).
+[[nodiscard]] ml::TensorDataset build_training_set(
+    const DatasetBundle& bundle, const sampling::PipelineResult& sampled,
+    const CaseConfig& cfg);
+
+/// OF2D drag problem (sample-single): per snapshot, sample ns points with
+/// `method` ("random" | "maxent" | "uips" | "stratified"), build windows of
+/// length `window`, target = drag at the window's last step.
+[[nodiscard]] ml::TensorDataset build_drag_dataset(
+    const DatasetBundle& bundle, const std::string& method, std::size_t ns,
+    std::size_t window, std::uint64_t seed,
+    energy::EnergyCounter* energy = nullptr);
+
+}  // namespace sickle

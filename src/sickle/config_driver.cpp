@@ -1,0 +1,101 @@
+#include "sickle/config_driver.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace sickle {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+std::string normalize_arch(const std::string& arch) {
+  const std::string a = lower(arch);
+  if (a == "lstm") return "LSTM";
+  if (a == "mlp_transformer" || a == "mlp-transformer") {
+    return "MLP_Transformer";
+  }
+  if (a == "cnn_transformer" || a == "cnn-transformer") {
+    return "CNN_Transformer";
+  }
+  if (a == "foundation" || a == "matey") return "Foundation";
+  throw RuntimeError("unknown architecture: " + arch);
+}
+
+std::string dataset_label_from_config(const Config& cfg) {
+  return cfg.get_str("shared", "dataset", "SST-P1F4");
+}
+
+sampling::PipelineConfig pipeline_from_config(const Config& cfg) {
+  sampling::PipelineConfig pl;
+  // Cube edges: the paper's --nxsl/--nysl/--nzsl.
+  pl.cube.ex = static_cast<std::size_t>(cfg.get_int("subsample", "nxsl", 8));
+  pl.cube.ey = static_cast<std::size_t>(cfg.get_int("subsample", "nysl", 8));
+  pl.cube.ez = static_cast<std::size_t>(cfg.get_int("subsample", "nzsl", 8));
+  pl.hypercube_method = cfg.get_str("subsample", "hypercubes", "maxent");
+  pl.point_method = cfg.get_str("subsample", "method", "maxent");
+  pl.num_hypercubes = static_cast<std::size_t>(
+      cfg.get_int("subsample", "num_hypercubes", 32));
+  pl.num_samples = static_cast<std::size_t>(
+      cfg.get_int("subsample", "num_samples", 3277));
+  pl.num_clusters = static_cast<std::size_t>(
+      cfg.get_int("subsample", "num_clusters", 20));
+  if (cfg.has("shared", "input_vars")) {
+    pl.input_vars = cfg.get_list("shared", "input_vars");
+  }
+  if (cfg.has("shared", "output_vars")) {
+    pl.output_vars = cfg.get_list("shared", "output_vars");
+  }
+  pl.cluster_var = cfg.get_str("shared", "cluster_var", "");
+  pl.pdf_bins = static_cast<std::size_t>(
+      cfg.get_int("subsample", "pdf_bins", 10));
+  pl.seed = static_cast<std::uint64_t>(cfg.get_int("shared", "seed", 42));
+  return pl;
+}
+
+CaseConfig case_from_config(const Config& cfg) {
+  CaseConfig cc;
+  cc.pipeline = pipeline_from_config(cfg);
+  cc.arch = normalize_arch(
+      cfg.get_str("train", "arch", "MLP_transformer"));
+  cc.window = static_cast<std::size_t>(cfg.get_int("train", "window", 1));
+  cc.model_dim = static_cast<std::size_t>(cfg.get_int("train", "dim", 32));
+  cc.model_heads =
+      static_cast<std::size_t>(cfg.get_int("train", "heads", 4));
+  cc.model_layers =
+      static_cast<std::size_t>(cfg.get_int("train", "layers", 1));
+
+  cc.train.epochs =
+      static_cast<std::size_t>(cfg.get_int("train", "epochs", 1000));
+  cc.train.batch =
+      static_cast<std::size_t>(cfg.get_int("train", "batch", 16));
+  cc.train.lr = cfg.get_double("train", "lr", 1e-3);
+  cc.train.patience =
+      static_cast<std::size_t>(cfg.get_int("train", "patience", 20));
+  cc.train.test_fraction =
+      cfg.get_double("train", "test_frac", 0.1);
+  cc.train.seed = static_cast<std::uint64_t>(
+      cfg.get_int("train", "seed", cfg.get_int("shared", "seed", 42)));
+  const std::string precision =
+      lower(cfg.get_str("train", "precision", "fp32"));
+  if (precision == "fp32") {
+    cc.train.precision = ml::Precision::kFp32;
+  } else if (precision == "fp16") {
+    cc.train.precision = ml::Precision::kFp16;
+  } else if (precision == "bf16") {
+    cc.train.precision = ml::Precision::kBf16;
+  } else {
+    throw RuntimeError("unknown precision: " + precision);
+  }
+  return cc;
+}
+
+}  // namespace sickle

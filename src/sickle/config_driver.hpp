@@ -1,0 +1,36 @@
+// Config-driven case construction: the paper's case.yaml workflow.
+//
+// The reference runs `srun -n 32 python subsample.py case.yaml` and
+// `python train.py case.yaml`; this module maps the same YAML-subset keys
+// onto PipelineConfig / CaseConfig so the CLI tools (tools/) and user code
+// can drive SICKLE from config files. Key names follow the paper's sample
+// YAML (shared / subsample / train sections, nxsl/nysl/nzsl cube edges,
+// hypercubes/method sampling choices, arch / window / epochs training
+// knobs).
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "sickle/case.hpp"
+
+namespace sickle {
+
+/// Dataset label: `shared.dataset` (zoo label, e.g. "SST-P1F4"); the
+/// paper's `dtype`+`path` pair maps onto the generator zoo offline.
+[[nodiscard]] std::string dataset_label_from_config(const Config& cfg);
+
+/// Build the sampling pipeline from the `shared` + `subsample` sections.
+/// Missing keys fall back to the same defaults the paper's CLI uses.
+[[nodiscard]] sampling::PipelineConfig pipeline_from_config(
+    const Config& cfg);
+
+/// Build the full case (pipeline + training) from all three sections.
+[[nodiscard]] CaseConfig case_from_config(const Config& cfg);
+
+/// Normalize the paper's architecture spellings ("MLP_transformer",
+/// "CNN_Transformer", "lstm", ...) onto the internal names; throws
+/// RuntimeError for unknown architectures.
+[[nodiscard]] std::string normalize_arch(const std::string& arch);
+
+}  // namespace sickle

@@ -1,0 +1,37 @@
+// Dataset zoo: Table 1 of the paper, at single-node scale.
+//
+// Each bundle carries the generated data plus the paper's variable roles
+// (K-means cluster variable, NN inputs/outputs). Grid sizes are scaled
+// down per DESIGN.md §2; `scale` >= 1 multiplies the default extents for
+// larger runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace sickle {
+
+struct DatasetBundle {
+  field::Dataset data{"empty"};
+  std::vector<std::string> input_vars;
+  std::vector<std::string> output_vars;
+  std::string cluster_var;
+  /// Per-snapshot scalar target for sample-single problems (OF2D drag);
+  /// empty otherwise.
+  std::vector<double> scalar_target;
+  std::string paper_size;  ///< the size the paper reports for this dataset
+};
+
+/// Labels: "TC2D", "OF2D", "SST-P1F4", "SST-P1F100", "GESTS-2048",
+/// "GESTS-8192". Throws RuntimeError for unknown labels.
+[[nodiscard]] DatasetBundle make_dataset(const std::string& label,
+                                         std::uint64_t seed = 42,
+                                         double scale = 1.0);
+
+/// All known labels, in Table 1 order.
+[[nodiscard]] std::vector<std::string> dataset_labels();
+
+}  // namespace sickle

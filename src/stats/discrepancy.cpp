@@ -1,0 +1,96 @@
+#include "stats/discrepancy.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/mathx.hpp"
+#include "stats/histogram.hpp"
+
+namespace sickle::stats {
+
+namespace {
+
+HistogramND bin_points(std::span<const std::vector<double>> points,
+                       std::size_t bins_per_axis) {
+  SICKLE_CHECK_MSG(!points.empty(), "uniformity metric needs points");
+  return HistogramND::fit(points, bins_per_axis);
+}
+
+}  // namespace
+
+double clumping_index(std::span<const std::vector<double>> points,
+                      std::size_t bins_per_axis) {
+  const HistogramND h = bin_points(points, bins_per_axis);
+  const auto& counts = h.counts();
+  std::vector<double> c(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    c[i] = static_cast<double>(counts[i]);
+  }
+  const double m = mean(std::span<const double>(c));
+  if (m <= 0.0) return 0.0;
+  return stddev(std::span<const double>(c)) / m;
+}
+
+double cell_coverage(std::span<const std::vector<double>> points,
+                     std::size_t bins_per_axis) {
+  const HistogramND h = bin_points(points, bins_per_axis);
+  std::size_t occupied = 0;
+  for (const std::size_t c : h.counts()) {
+    if (c > 0) ++occupied;
+  }
+  return static_cast<double>(occupied) / static_cast<double>(h.cells());
+}
+
+double clark_evans_index(std::span<const std::vector<double>> points) {
+  const std::size_t n = points.size();
+  SICKLE_CHECK_MSG(n >= 2, "Clark–Evans index needs >= 2 points");
+  const std::size_t d = points.front().size();
+  SICKLE_CHECK_MSG(d >= 1 && d <= 3, "Clark–Evans supported for 1–3 dims");
+
+  // Bounding-box volume for the Poisson reference density.
+  std::vector<double> lo(points.front()), hi(points.front());
+  for (const auto& p : points) {
+    SICKLE_CHECK(p.size() == d);
+    for (std::size_t k = 0; k < d; ++k) {
+      lo[k] = std::min(lo[k], p[k]);
+      hi[k] = std::max(hi[k], p[k]);
+    }
+  }
+  double volume = 1.0;
+  for (std::size_t k = 0; k < d; ++k) {
+    volume *= std::max(hi[k] - lo[k], 1e-300);
+  }
+  const double density = static_cast<double>(n) / volume;
+
+  // Mean nearest-neighbour distance (brute force).
+  double sum_nn = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double dist2 = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        dist2 += sqr(points[i][k] - points[j][k]);
+      }
+      best = std::min(best, dist2);
+    }
+    sum_nn += std::sqrt(best);
+  }
+  const double observed = sum_nn / static_cast<double>(n);
+
+  // Expected NN distance for a homogeneous Poisson process:
+  //   1D: 1/(2*rho);  2D: 1/(2*sqrt(rho));
+  //   3D: Gamma(4/3) / (4/3*pi*rho)^(1/3) ~= 0.55396 / rho^(1/3).
+  double expected = 0.0;
+  switch (d) {
+    case 1: expected = 1.0 / (2.0 * density); break;
+    case 2: expected = 1.0 / (2.0 * std::sqrt(density)); break;
+    default:
+      expected = 0.55396 / std::cbrt(density);
+      break;
+  }
+  return observed / expected;
+}
+
+}  // namespace sickle::stats

@@ -1,0 +1,33 @@
+// Phase-space uniformity metrics.
+//
+// Fig. 4 of the paper shows UIPS "clumping" in 3D anisotropic flows: the
+// selected samples stop covering phase space uniformly. We quantify that
+// with (a) a cell-occupancy clumping index and (b) nearest-neighbour
+// statistics, both standard spatial-uniformity diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sickle::stats {
+
+/// Coefficient of variation of cell occupancy after binning the points into
+/// `bins_per_axis`^d cells over their bounding box. 0 for perfectly uniform
+/// coverage; grows with clumping. Matches the eyeball test of Fig. 4.
+[[nodiscard]] double clumping_index(std::span<const std::vector<double>> points,
+                                    std::size_t bins_per_axis = 8);
+
+/// Fraction of cells (same binning) that contain at least one point; 1.0
+/// means full coverage of occupied phase space.
+[[nodiscard]] double cell_coverage(std::span<const std::vector<double>> points,
+                                   std::size_t bins_per_axis = 8);
+
+/// Mean nearest-neighbour distance normalized by the expected value for a
+/// uniform (Poisson) point process in the same bounding box — the
+/// Clark–Evans index. ~1 uniform, <1 clustered, >1 over-dispersed.
+/// O(n^2); intended for the <=1e4-point sample sets used in Fig. 4.
+[[nodiscard]] double clark_evans_index(
+    std::span<const std::vector<double>> points);
+
+}  // namespace sickle::stats

@@ -1,0 +1,83 @@
+#include "stats/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/mathx.hpp"
+
+namespace sickle::stats {
+
+double shannon_entropy(std::span<const double> p) {
+  double h = 0.0;
+  for (const double pi : p) {
+    SICKLE_CHECK_MSG(pi >= 0.0, "PMF entries must be non-negative");
+    if (pi > 0.0) h -= pi * std::log(pi);
+  }
+  return h;
+}
+
+double kl_divergence(std::span<const double> p, std::span<const double> q,
+                     double eps) {
+  SICKLE_CHECK_MSG(p.size() == q.size(), "KL inputs must have equal length");
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    d += p[i] * std::log(p[i] / std::max(q[i], eps));
+  }
+  return d;
+}
+
+double js_divergence(std::span<const double> p, std::span<const double> q) {
+  SICKLE_CHECK_MSG(p.size() == q.size(), "JS inputs must have equal length");
+  std::vector<double> m(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  return 0.5 * kl_divergence(p, m) + 0.5 * kl_divergence(q, m);
+}
+
+std::vector<double> kl_adjacency(std::span<const std::vector<double>> pmfs,
+                                 double eps) {
+  const std::size_t n = pmfs.size();
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      a[i * n + j] = kl_divergence(pmfs[i], pmfs[j], eps);
+    }
+  }
+  return a;
+}
+
+std::vector<double> node_strengths(std::span<const double> adjacency,
+                                   std::size_t n) {
+  SICKLE_CHECK_MSG(adjacency.size() == n * n,
+                   "adjacency must be n x n row-major");
+  std::vector<double> s(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row += adjacency[i * n + j];
+    s[i] = row;
+  }
+  return s;
+}
+
+std::vector<double> normalize_weights(std::span<const double> weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    SICKLE_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  std::vector<double> out(weights.size());
+  if (total <= 0.0) {
+    // Indistinguishable clusters: fall back to uniform.
+    const double u = weights.empty()
+                         ? 0.0
+                         : 1.0 / static_cast<double>(weights.size());
+    std::fill(out.begin(), out.end(), u);
+    return out;
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) out[i] = weights[i] / total;
+  return out;
+}
+
+}  // namespace sickle::stats

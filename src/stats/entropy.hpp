@@ -1,0 +1,48 @@
+// Information-theoretic quantities at the heart of MaxEnt sampling.
+//
+// The paper (Eqs. 1–2) computes Kullback–Leibler divergences between
+// per-cluster distributions of a target variable, assembles them into an
+// adjacency matrix A_ij = KL(P(C_i) || P(C_j)), and reduces to per-cluster
+// "node strengths" (row sums) that weight the sampling draw.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sickle::stats {
+
+/// Shannon entropy  H(p) = -sum p log p  (natural log, nats).
+/// `p` must be a normalized PMF; zero entries contribute zero.
+[[nodiscard]] double shannon_entropy(std::span<const double> p);
+
+/// Kullback–Leibler divergence D(p||q) = sum p log(p/q) (Eq. 1).
+/// Bins where q = 0 but p > 0 would be infinite; we regularize with a small
+/// floor epsilon on q, matching the reference implementation's behaviour of
+/// adding a tiny count to empty bins.
+[[nodiscard]] double kl_divergence(std::span<const double> p,
+                                   std::span<const double> q,
+                                   double eps = 1e-12);
+
+/// Jensen–Shannon divergence (symmetric, bounded by log 2).
+[[nodiscard]] double js_divergence(std::span<const double> p,
+                                   std::span<const double> q);
+
+/// Pairwise KL adjacency matrix (Eq. 2): A[i*n + j] = KL(pmfs[i] || pmfs[j]).
+/// Diagonal is zero.
+[[nodiscard]] std::vector<double> kl_adjacency(
+    std::span<const std::vector<double>> pmfs, double eps = 1e-12);
+
+/// Node strengths: row sums of the adjacency matrix. High strength means a
+/// cluster whose distribution diverges most from the others — the
+/// information-rich regions MaxEnt concentrates samples in.
+[[nodiscard]] std::vector<double> node_strengths(
+    std::span<const double> adjacency, std::size_t n);
+
+/// Normalize a non-negative weight vector into a probability distribution.
+/// All-zero input maps to the uniform distribution (the sampler's fallback
+/// when clusters are indistinguishable).
+[[nodiscard]] std::vector<double> normalize_weights(
+    std::span<const double> weights);
+
+}  // namespace sickle::stats

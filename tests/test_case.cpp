@@ -1,0 +1,136 @@
+// Integration tests: dataset zoo + end-to-end case runner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sickle/case.hpp"
+#include "sickle/dataset_zoo.hpp"
+
+namespace sickle {
+namespace {
+
+TEST(DatasetZoo, AllLabelsGenerate) {
+  for (const auto& label : dataset_labels()) {
+    const auto b = make_dataset(label, 1, /*scale=*/0.25);
+    EXPECT_GT(b.data.num_snapshots(), 0u) << label;
+    EXPECT_FALSE(b.cluster_var.empty()) << label;
+    EXPECT_FALSE(b.input_vars.empty()) << label;
+    // Every advertised variable exists on the snapshots.
+    const auto& snap = b.data.snapshot(0);
+    for (const auto& v : b.input_vars) EXPECT_TRUE(snap.has(v)) << label;
+    for (const auto& v : b.output_vars) EXPECT_TRUE(snap.has(v)) << label;
+    EXPECT_TRUE(snap.has(b.cluster_var)) << label;
+  }
+}
+
+TEST(DatasetZoo, UnknownLabelThrows) {
+  EXPECT_THROW(make_dataset("NOPE"), RuntimeError);
+}
+
+TEST(DatasetZoo, Of2dCarriesDragTarget) {
+  const auto b = make_dataset("OF2D", 1);
+  EXPECT_EQ(b.scalar_target.size(), b.data.num_snapshots());
+}
+
+TEST(DatasetZoo, SstIsAnisotropicGestsIsNot) {
+  const auto sst = make_dataset("SST-P1F4", 2, 0.5);
+  const auto gests = make_dataset("GESTS-2048", 2, 0.5);
+  auto rms = [](std::span<const double> v) {
+    double acc = 0.0;
+    for (const double x : v) acc += x * x;
+    return std::sqrt(acc / static_cast<double>(v.size()));
+  };
+  const auto& s0 = sst.data.snapshot(0);
+  const auto& g0 = gests.data.snapshot(0);
+  const double sst_ratio = rms(s0.get("w").data()) / rms(s0.get("u").data());
+  const double gests_ratio = rms(g0.get("w").data()) / rms(g0.get("u").data());
+  EXPECT_LT(sst_ratio, 0.7);
+  EXPECT_NEAR(gests_ratio, 1.0, 0.1);
+}
+
+CaseConfig tiny_case(const std::string& arch) {
+  CaseConfig cfg;
+  cfg.pipeline.cube = {8, 8, 8};
+  cfg.pipeline.hypercube_method = "random";
+  cfg.pipeline.point_method = (arch == "CNN_Transformer") ? "full" : "maxent";
+  cfg.pipeline.num_hypercubes = 4;
+  cfg.pipeline.num_samples = 51;
+  cfg.pipeline.num_clusters = 5;
+  cfg.pipeline.seed = 7;
+  cfg.arch = arch;
+  cfg.train.epochs = 3;
+  cfg.train.batch = 4;
+  cfg.model_dim = 16;
+  cfg.model_heads = 2;
+  cfg.model_layers = 1;
+  return cfg;
+}
+
+class CaseArch : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CaseArch, EndToEndRuns) {
+  const auto bundle = make_dataset("SST-P1F4", 3, 0.5);  // 32x32x16
+  const auto report = run_case(bundle, tiny_case(GetParam()));
+  EXPECT_GT(report.sampled_points, 0u);
+  EXPECT_GT(report.sampling_kilojoules, 0.0);
+  EXPECT_GT(report.training_kilojoules, 0.0);
+  EXPECT_GT(report.train.parameters, 0u);
+  EXPECT_EQ(report.train.epoch_losses.size(), 3u);
+  EXPECT_TRUE(std::isfinite(report.train.test_loss));
+  EXPECT_NEAR(report.total_kilojoules(),
+              report.sampling_kilojoules + report.training_kilojoules,
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, CaseArch,
+                         ::testing::Values("MLP_Transformer",
+                                           "CNN_Transformer", "Foundation"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Case, SamplingReducesEnergyVsFull) {
+  // The core Fig. 8 mechanism: a 10% sample moves ~10x less data than the
+  // dense baseline during dataset construction + training.
+  const auto bundle = make_dataset("SST-P1F4", 4, 0.5);
+  auto sparse = tiny_case("MLP_Transformer");
+  auto dense = tiny_case("CNN_Transformer");
+  dense.pipeline.point_method = "full";
+  const auto sparse_report = run_case(bundle, sparse);
+  const auto dense_report = run_case(bundle, dense);
+  EXPECT_LT(sparse_report.train.energy.flops(),
+            dense_report.train.energy.flops());
+}
+
+TEST(Case, BuildDragDatasetShapes) {
+  const auto bundle = make_dataset("OF2D", 5);
+  energy::EnergyCounter energy;
+  const auto data = build_drag_dataset(bundle, "random", 64, 3, 11, &energy);
+  // 100 snapshots, window 3 -> 98 examples.
+  EXPECT_EQ(data.size(), 98u);
+  EXPECT_EQ(data.input(0).shape(),
+            (std::vector<std::size_t>{3, 2 * 64}));
+  EXPECT_EQ(data.target(0).shape(), (std::vector<std::size_t>{1, 1}));
+  EXPECT_GT(energy.bytes(), 0.0);
+}
+
+TEST(Case, BuildDragDatasetMethodsDiffer) {
+  const auto bundle = make_dataset("OF2D", 6);
+  const auto random = build_drag_dataset(bundle, "random", 32, 1, 3);
+  const auto maxent = build_drag_dataset(bundle, "maxent", 32, 1, 3);
+  // Different sensor placements -> different inputs.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < random.input(0).size(); ++i) {
+    if (random.input(0)[i] != maxent.input(0)[i]) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Case, BuildDragDatasetRequiresScalarTarget) {
+  const auto bundle = make_dataset("GESTS-2048", 7, 0.5);
+  EXPECT_THROW(build_drag_dataset(bundle, "random", 8, 1, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace sickle

@@ -1,0 +1,121 @@
+// Tests: YAML-subset case configuration -> pipeline/case configs.
+#include <gtest/gtest.h>
+
+#include "sickle/config_driver.hpp"
+
+namespace sickle {
+namespace {
+
+const char* kCaseYaml = R"(
+shared:
+  dataset: SST-P1F4
+  input_vars: [u, v, w, rho]
+  output_vars: [p]
+  cluster_var: pv
+  seed: 7
+
+subsample:
+  hypercubes: maxent
+  method: uips
+  num_hypercubes: 12
+  num_samples: 3277
+  num_clusters: 20
+  nxsl: 32
+  nysl: 32
+  nzsl: 32
+
+train:
+  epochs: 1000
+  batch: 16
+  arch: MLP_transformer
+  window: 2
+  precision: bf16
+)";
+
+TEST(ConfigDriver, DatasetLabel) {
+  const auto cfg = Config::parse(kCaseYaml);
+  EXPECT_EQ(dataset_label_from_config(cfg), "SST-P1F4");
+}
+
+TEST(ConfigDriver, PipelineMapping) {
+  const auto cfg = Config::parse(kCaseYaml);
+  const auto pl = pipeline_from_config(cfg);
+  EXPECT_EQ(pl.cube.ex, 32u);
+  EXPECT_EQ(pl.cube.ez, 32u);
+  EXPECT_EQ(pl.hypercube_method, "maxent");
+  EXPECT_EQ(pl.point_method, "uips");
+  EXPECT_EQ(pl.num_hypercubes, 12u);
+  EXPECT_EQ(pl.num_samples, 3277u);
+  EXPECT_EQ(pl.num_clusters, 20u);
+  EXPECT_EQ(pl.input_vars,
+            (std::vector<std::string>{"u", "v", "w", "rho"}));
+  EXPECT_EQ(pl.output_vars, (std::vector<std::string>{"p"}));
+  EXPECT_EQ(pl.cluster_var, "pv");
+  EXPECT_EQ(pl.seed, 7u);
+}
+
+TEST(ConfigDriver, CaseMapping) {
+  const auto cfg = Config::parse(kCaseYaml);
+  const auto cc = case_from_config(cfg);
+  EXPECT_EQ(cc.arch, "MLP_Transformer");
+  EXPECT_EQ(cc.window, 2u);
+  EXPECT_EQ(cc.train.epochs, 1000u);
+  EXPECT_EQ(cc.train.batch, 16u);
+  EXPECT_EQ(cc.train.patience, 20u);  // the paper's default
+  EXPECT_EQ(cc.train.precision, ml::Precision::kBf16);
+}
+
+TEST(ConfigDriver, DefaultsWhenSectionsSparse) {
+  const auto cfg = Config::parse("shared:\n  dataset: GESTS-2048\n");
+  const auto cc = case_from_config(cfg);
+  EXPECT_EQ(cc.pipeline.cube.ex, 8u);
+  EXPECT_EQ(cc.train.epochs, 1000u);
+  EXPECT_EQ(cc.train.lr, 1e-3);
+  EXPECT_TRUE(cc.pipeline.input_vars.empty());  // filled from the bundle
+}
+
+TEST(ConfigDriver, ArchNormalization) {
+  EXPECT_EQ(normalize_arch("lstm"), "LSTM");
+  EXPECT_EQ(normalize_arch("LSTM"), "LSTM");
+  EXPECT_EQ(normalize_arch("MLP_transformer"), "MLP_Transformer");
+  EXPECT_EQ(normalize_arch("CNN_Transformer"), "CNN_Transformer");
+  EXPECT_EQ(normalize_arch("matey"), "Foundation");
+  EXPECT_THROW(normalize_arch("gpt4"), RuntimeError);
+}
+
+TEST(ConfigDriver, BadPrecisionThrows) {
+  const auto cfg = Config::parse(
+      "shared:\n  dataset: OF2D\ntrain:\n  precision: int3\n");
+  EXPECT_THROW(case_from_config(cfg), RuntimeError);
+}
+
+TEST(ConfigDriver, EndToEndTinyCase) {
+  // The shipped contrib config shape, shrunk: config -> case -> run.
+  const auto cfg = Config::parse(R"(
+shared:
+  dataset: SST-P1F4
+  seed: 3
+subsample:
+  hypercubes: random
+  method: maxent
+  num_hypercubes: 3
+  num_samples: 51
+  num_clusters: 5
+  nxsl: 8
+  nysl: 8
+  nzsl: 8
+train:
+  epochs: 2
+  batch: 4
+  arch: MLP_transformer
+  dim: 16
+  heads: 2
+)");
+  const DatasetBundle bundle = make_dataset("SST-P1F4", 3, 0.5);
+  const auto report = run_case(bundle, case_from_config(cfg));
+  EXPECT_GT(report.sampled_points, 0u);
+  EXPECT_TRUE(std::isfinite(report.train.test_loss));
+}
+
+}  // namespace
+}  // namespace sickle

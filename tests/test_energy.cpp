@@ -1,0 +1,73 @@
+// Unit tests: energy model and counters.
+#include <gtest/gtest.h>
+
+#include "energy/energy.hpp"
+
+namespace sickle::energy {
+namespace {
+
+TEST(EnergyModel, JoulesAreLinearInWork) {
+  EnergyModel m;
+  const double base = m.joules(1e9, 0, 0);
+  EXPECT_DOUBLE_EQ(m.joules(2e9, 0, 0), 2.0 * base);
+  EXPECT_DOUBLE_EQ(m.joules(0, 0, 0), 0.0);
+}
+
+TEST(EnergyModel, DataMovementDominatesComputePerElement) {
+  // The paper's premise: moving a double costs >> computing with it.
+  EnergyModel m;
+  const double move_one_double = m.joules_per_byte * 8.0;
+  const double one_flop = m.joules_per_flop;
+  EXPECT_GT(move_one_double, 100.0 * one_flop * 0.5);
+}
+
+TEST(EnergyCounter, AccumulatesAndResets) {
+  EnergyCounter c;
+  c.add_flops(100.0);
+  c.add_bytes(50.0);
+  c.add_seconds(2.0);
+  EXPECT_DOUBLE_EQ(c.flops(), 100.0);
+  EXPECT_DOUBLE_EQ(c.bytes(), 50.0);
+  EXPECT_DOUBLE_EQ(c.seconds(), 2.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.joules(), 0.0);
+}
+
+TEST(EnergyCounter, MergeSums) {
+  EnergyCounter a, b;
+  a.add_flops(1.0);
+  b.add_flops(2.0);
+  b.add_bytes(8.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.flops(), 3.0);
+  EXPECT_DOUBLE_EQ(a.bytes(), 8.0);
+}
+
+TEST(EnergyCounter, KilojoulesConsistent) {
+  EnergyCounter c;
+  c.add_seconds(10.0);
+  EnergyModel m;
+  EXPECT_DOUBLE_EQ(c.kilojoules(m), m.static_watts * 10.0 * 1e-3);
+}
+
+TEST(EnergyCounter, ReportContainsPaperGrepString) {
+  EnergyCounter c;
+  c.add_seconds(1.0);
+  const auto s = c.report();
+  EXPECT_NE(s.find("Total Energy Consumed:"), std::string::npos);
+  EXPECT_NE(s.find("kJ"), std::string::npos);
+}
+
+TEST(EnergyCounter, ProportionalToDataVolume) {
+  // The invariant behind Fig. 8: sampling 10% of the points costs ~10% of
+  // the byte-movement energy.
+  EnergyModel m;
+  m.static_watts = 0.0;  // isolate the data term
+  EnergyCounter full, sampled;
+  full.add_bytes(1e9);
+  sampled.add_bytes(1e8);
+  EXPECT_NEAR(full.joules(m) / sampled.joules(m), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sickle::energy

@@ -1,0 +1,124 @@
+// Unit tests: .skl snapshot and sample-set storage.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "io/snapshot_io.hpp"
+
+namespace sickle::io {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sickle_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, SnapshotRoundTrip) {
+  field::Snapshot snap({4, 3, 2}, 2.5);
+  Rng rng(1);
+  for (const char* name : {"u", "v", "p"}) {
+    auto& f = snap.add(name);
+    for (auto& x : f.data()) x = rng.normal();
+  }
+  const std::size_t bytes = save_snapshot(snap, path("snap.skl"));
+  EXPECT_GT(bytes, 3u * 24u * sizeof(double));
+
+  const auto loaded = load_snapshot(path("snap.skl"));
+  EXPECT_EQ(loaded.shape(), snap.shape());
+  EXPECT_DOUBLE_EQ(loaded.time(), 2.5);
+  EXPECT_EQ(loaded.names(), snap.names());
+  for (const char* name : {"u", "v", "p"}) {
+    const auto a = snap.get(name).data();
+    const auto b = loaded.get(name).data();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[i], b[i]);
+    }
+  }
+}
+
+TEST_F(IoTest, SamplesRoundTrip) {
+  SampleFile s;
+  s.variables = {"u", "v"};
+  s.indices = {3, 17, 255};
+  s.features = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  save_samples(s, path("samples.skl"));
+  const auto loaded = load_samples(path("samples.skl"));
+  EXPECT_EQ(loaded.variables, s.variables);
+  EXPECT_EQ(loaded.indices, s.indices);
+  EXPECT_EQ(loaded.features, s.features);
+}
+
+TEST_F(IoTest, SampleFileIsSmallerThanSnapshot) {
+  field::Snapshot snap({32, 32, 1});
+  Rng rng(2);
+  for (const char* name : {"u", "v"}) {
+    auto& f = snap.add(name);
+    for (auto& x : f.data()) x = rng.normal();
+  }
+  const std::size_t full = save_snapshot(snap, path("full.skl"));
+
+  SampleFile s;
+  s.variables = {"u", "v"};
+  // 10% subsample.
+  for (std::size_t i = 0; i < 102; ++i) {
+    s.indices.push_back(i * 10);
+    s.features.push_back(0.0);
+    s.features.push_back(0.0);
+  }
+  const std::size_t sampled = save_samples(s, path("sub.skl"));
+  EXPECT_LT(sampled * 5, full);  // well under 20% of the dense file
+}
+
+TEST_F(IoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_snapshot(path("missing.skl")), RuntimeError);
+  EXPECT_THROW(load_samples(path("missing.skl")), RuntimeError);
+}
+
+TEST_F(IoTest, WrongMagicThrows) {
+  {
+    std::ofstream f(path("bad.skl"), std::ios::binary);
+    f << "NOTSKLDATA";
+  }
+  EXPECT_THROW(load_snapshot(path("bad.skl")), RuntimeError);
+  EXPECT_THROW(load_samples(path("bad.skl")), RuntimeError);
+}
+
+TEST_F(IoTest, TruncatedFileThrows) {
+  field::Snapshot snap({8, 8, 1});
+  snap.add("u");
+  save_snapshot(snap, path("trunc.skl"));
+  std::filesystem::resize_file(path("trunc.skl"), 40);
+  EXPECT_THROW(load_snapshot(path("trunc.skl")), RuntimeError);
+}
+
+TEST_F(IoTest, MismatchedFeatureCountRejected) {
+  SampleFile s;
+  s.variables = {"u"};
+  s.indices = {1, 2};
+  s.features = {1.0};  // should be 2
+  EXPECT_THROW(save_samples(s, path("bad2.skl")), CheckError);
+}
+
+TEST_F(IoTest, FileBytesOfMissingIsZero) {
+  EXPECT_EQ(file_bytes(path("nope")), 0u);
+}
+
+}  // namespace
+}  // namespace sickle::io

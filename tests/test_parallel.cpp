@@ -1,0 +1,180 @@
+// Unit tests: thread pool, parallel_for, SPMD world collectives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+#include "parallel/world.hpp"
+
+namespace sickle {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  std::vector<double> v(10000);
+  std::iota(v.begin(), v.end(), 0.0);
+  std::atomic<long> sum{0};
+  parallel_for(v.size(), [&](std::size_t i) {
+    sum += static_cast<long>(v[i]);
+  }, nullptr, 64);
+  EXPECT_EQ(sum.load(), 10000L * 9999L / 2L);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForRange, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for_range(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  }, nullptr, 32);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(CommModel, CostsGrowWithRanksAndBytes) {
+  CommModel m;
+  EXPECT_EQ(m.allreduce(1, 1024), 0.0);
+  EXPECT_LT(m.allreduce(2, 1024), m.allreduce(64, 1024));
+  EXPECT_LT(m.allreduce(64, 8), m.allreduce(64, 1 << 20));
+  EXPECT_LT(m.barrier(2), m.barrier(512));
+}
+
+TEST(World, RanksSeeCorrectIds) {
+  World world(4);
+  std::vector<int> seen(4, -1);
+  world.run([&](Comm& comm) {
+    seen[comm.rank()] = static_cast<int>(comm.rank());
+    EXPECT_EQ(comm.size(), 4u);
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(seen[r], r);
+}
+
+TEST(World, AllreduceSum) {
+  World world(8);
+  world.run([](Comm& comm) {
+    const double total = comm.allreduce_sum(
+        static_cast<double>(comm.rank() + 1));
+    EXPECT_DOUBLE_EQ(total, 36.0);  // 1+2+...+8
+  });
+}
+
+TEST(World, AllreduceVector) {
+  World world(3);
+  world.run([](Comm& comm) {
+    std::vector<double> v{static_cast<double>(comm.rank()), 1.0};
+    comm.allreduce_sum(v);
+    EXPECT_DOUBLE_EQ(v[0], 3.0);  // 0+1+2
+    EXPECT_DOUBLE_EQ(v[1], 3.0);
+  });
+}
+
+TEST(World, AllreduceMax) {
+  World world(5);
+  world.run([](Comm& comm) {
+    const double mx = comm.allreduce_max(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(mx, 4.0);
+  });
+}
+
+TEST(World, AllgatherOrderedByRank) {
+  World world(4);
+  world.run([](Comm& comm) {
+    const std::vector<double> local{
+        static_cast<double>(comm.rank() * 10),
+        static_cast<double>(comm.rank() * 10 + 1)};
+    const auto all = comm.allgather(local);
+    ASSERT_EQ(all.size(), 8u);
+    for (std::size_t r = 0; r < 4; ++r) {
+      EXPECT_DOUBLE_EQ(all[2 * r], static_cast<double>(r * 10));
+      EXPECT_DOUBLE_EQ(all[2 * r + 1], static_cast<double>(r * 10 + 1));
+    }
+  });
+}
+
+TEST(World, AllgatherRaggedSizes) {
+  World world(3);
+  world.run([](Comm& comm) {
+    std::vector<std::size_t> local(comm.rank() + 1, comm.rank());
+    const auto all = comm.allgather(local);
+    EXPECT_EQ(all.size(), 6u);  // 1 + 2 + 3
+    EXPECT_EQ(all[0], 0u);
+    EXPECT_EQ(all[5], 2u);
+  });
+}
+
+TEST(World, Broadcast) {
+  World world(4);
+  world.run([](Comm& comm) {
+    std::vector<double> v;
+    if (comm.is_root()) v = {3.0, 1.0, 4.0};
+    comm.broadcast(v, 0);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[2], 4.0);
+  });
+}
+
+TEST(World, BlockRangePartitionsExactly) {
+  World world(3);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(3);
+  world.run([&](Comm& comm) {
+    ranges[comm.rank()] = comm.block_range(10);
+  });
+  EXPECT_EQ(ranges[0].first, 0u);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    total += ranges[r].second - ranges[r].first;
+    if (r > 0) EXPECT_EQ(ranges[r].first, ranges[r - 1].second);
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(World, ReportsCpuAndCommTime) {
+  World world(4);
+  const auto report = world.run([](Comm& comm) {
+    // Some busy work plus a collective.
+    volatile double acc = 0.0;
+    for (int i = 0; i < 100000; ++i) acc = acc + 1.0;
+    comm.barrier();
+  });
+  EXPECT_EQ(report.nranks, 4u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.max_rank_cpu_seconds, 0.0);
+  EXPECT_GE(report.sum_rank_cpu_seconds, report.max_rank_cpu_seconds);
+  EXPECT_GT(report.modeled_comm_seconds, 0.0);
+  EXPECT_GT(report.simulated_seconds(), 0.0);
+}
+
+TEST(World, ExceptionPropagates) {
+  World world(3);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank failure");
+    comm.barrier();  // other ranks must not deadlock
+  }),
+               std::runtime_error);
+}
+
+TEST(World, SingleRankWorldWorks) {
+  World world(1);
+  world.run([](Comm& comm) {
+    EXPECT_EQ(comm.allreduce_sum(5.0), 5.0);
+    const auto all = comm.allgather(std::vector<double>{1.0});
+    EXPECT_EQ(all.size(), 1u);
+  });
+}
+
+}  // namespace
+}  // namespace sickle

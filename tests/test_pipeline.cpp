@@ -1,0 +1,184 @@
+// Integration tests: two-phase pipeline, serial vs SPMD equivalence.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flow/spectral_turbulence.hpp"
+#include "parallel/world.hpp"
+#include "sampling/pipeline.hpp"
+
+namespace sickle::sampling {
+namespace {
+
+field::Dataset small_stratified() {
+  flow::StratifiedParams p;
+  p.nx = p.ny = 32;
+  p.nz = 16;
+  p.snapshots = 2;
+  p.seed = 3;
+  return flow::generate_stratified(p);
+}
+
+PipelineConfig small_config() {
+  PipelineConfig cfg;
+  cfg.cube = {8, 8, 8};
+  cfg.hypercube_method = "maxent";
+  cfg.point_method = "maxent";
+  cfg.num_hypercubes = 6;
+  cfg.num_samples = 51;  // ~10% of 8^3
+  cfg.num_clusters = 6;
+  cfg.input_vars = {"u", "v", "w", "rho"};
+  cfg.output_vars = {"p"};
+  cfg.cluster_var = "pv";
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Pipeline, VariablesAreDeduplicated) {
+  PipelineConfig cfg;
+  cfg.input_vars = {"u", "v"};
+  cfg.output_vars = {"v", "p"};
+  cfg.cluster_var = "u";
+  const auto vars = pipeline_variables(cfg);
+  EXPECT_EQ(vars, (std::vector<std::string>{"u", "v", "p"}));
+}
+
+TEST(Pipeline, SnapshotRunProducesExpectedCubesAndSamples) {
+  const auto ds = small_stratified();
+  const auto cfg = small_config();
+  const auto result = run_pipeline(ds.snapshot(0), cfg);
+  EXPECT_EQ(result.cubes.size(), 6u);
+  for (const auto& c : result.cubes) {
+    EXPECT_EQ(c.samples.points(), 51u);
+    EXPECT_EQ(c.samples.variables.size(), 6u);  // u v w rho p pv
+    // Indices are valid grid indices.
+    for (const auto i : c.samples.indices) {
+      EXPECT_LT(i, ds.shape().size());
+    }
+  }
+  EXPECT_EQ(result.total_points(), 6u * 51u);
+  EXPECT_GT(result.energy.bytes(), 0.0);
+  EXPECT_GT(result.sampling_seconds, 0.0);
+}
+
+TEST(Pipeline, FullMethodKeepsEveryCubePoint) {
+  const auto ds = small_stratified();
+  auto cfg = small_config();
+  cfg.hypercube_method = "random";
+  cfg.point_method = "full";
+  const auto result = run_pipeline(ds.snapshot(0), cfg);
+  for (const auto& c : result.cubes) {
+    EXPECT_EQ(c.samples.points(), 8u * 8u * 8u);
+  }
+}
+
+TEST(Pipeline, DatasetRunCoversAllSnapshots) {
+  const auto ds = small_stratified();
+  auto cfg = small_config();
+  cfg.num_hypercubes = 3;
+  const auto result = run_pipeline(ds, cfg);
+  EXPECT_EQ(result.cubes.size(), 2u * 3u);
+  std::set<std::size_t> snaps;
+  for (const auto& c : result.cubes) snaps.insert(c.snapshot);
+  EXPECT_EQ(snaps.size(), 2u);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto ds = small_stratified();
+  const auto cfg = small_config();
+  const auto a = run_pipeline(ds.snapshot(0), cfg);
+  const auto b = run_pipeline(ds.snapshot(0), cfg);
+  ASSERT_EQ(a.cubes.size(), b.cubes.size());
+  for (std::size_t i = 0; i < a.cubes.size(); ++i) {
+    EXPECT_EQ(a.cubes[i].cube_id, b.cubes[i].cube_id);
+    EXPECT_EQ(a.cubes[i].samples.indices, b.cubes[i].samples.indices);
+  }
+}
+
+TEST(Pipeline, MergedConcatenatesAllCubes) {
+  const auto ds = small_stratified();
+  const auto cfg = small_config();
+  const auto result = run_pipeline(ds.snapshot(0), cfg);
+  const auto merged = result.merged();
+  EXPECT_EQ(merged.points(), result.total_points());
+  EXPECT_EQ(merged.features.size(), merged.points() * merged.dims());
+}
+
+/// The paper's key parallel property: SPMD runs produce the identical
+/// sample set at any rank count (deterministic counter RNG per cube).
+class PipelineSpmd : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PipelineSpmd, MatchesSerialAtAnyRankCount) {
+  const auto ds = small_stratified();
+  const auto cfg = small_config();
+  const auto serial = run_pipeline(ds.snapshot(0), cfg);
+
+  World world(GetParam());
+  std::vector<PipelineResult> per_rank(GetParam());
+  world.run([&](Comm& comm) {
+    per_rank[comm.rank()] = run_pipeline(ds.snapshot(0), cfg, comm);
+  });
+
+  // Sort serial cubes by id for comparison (SPMD result is id-sorted).
+  auto sorted = serial.cubes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CubeSamples& a, const CubeSamples& b) {
+              return a.cube_id < b.cube_id;
+            });
+  for (const auto& result : per_rank) {
+    ASSERT_EQ(result.cubes.size(), sorted.size());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      EXPECT_EQ(result.cubes[i].cube_id, sorted[i].cube_id);
+      EXPECT_EQ(result.cubes[i].samples.indices,
+                sorted[i].samples.indices);
+      EXPECT_EQ(result.cubes[i].samples.features,
+                sorted[i].samples.features);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, PipelineSpmd,
+                         ::testing::Values(1, 2, 4, 8),
+                         [](const auto& info) {
+                           return "ranks" + std::to_string(info.param);
+                         });
+
+TEST(PipelineSpmd, AllRanksAgree) {
+  const auto ds = small_stratified();
+  const auto cfg = small_config();
+  World world(4);
+  std::vector<std::size_t> totals(4, 0);
+  world.run([&](Comm& comm) {
+    const auto result = run_pipeline(ds.snapshot(0), cfg, comm);
+    totals[comm.rank()] = result.total_points();
+  });
+  for (std::size_t r = 1; r < 4; ++r) {
+    EXPECT_EQ(totals[r], totals[0]);
+  }
+}
+
+TEST(SampleSet, ColumnExtractionAndAppend) {
+  SampleSet a;
+  a.variables = {"x", "y"};
+  a.indices = {0, 1};
+  a.features = {1.0, 10.0, 2.0, 20.0};
+  EXPECT_EQ(a.column("y"), (std::vector<double>{10.0, 20.0}));
+  EXPECT_THROW(a.column("z"), CheckError);
+
+  SampleSet b;
+  b.variables = {"x", "y"};
+  b.indices = {2};
+  b.features = {3.0, 30.0};
+  a.append(b);
+  EXPECT_EQ(a.points(), 3u);
+  EXPECT_EQ(a.column("x"), (std::vector<double>{1.0, 2.0, 3.0}));
+
+  SampleSet c;
+  c.variables = {"other"};
+  c.indices = {0};
+  c.features = {0.0};
+  EXPECT_THROW(a.append(c), CheckError);
+}
+
+}  // namespace
+}  // namespace sickle::sampling
