@@ -2,8 +2,8 @@
 // sampling pipeline, inspect the result, and save the sparse subset.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/example_quickstart
 #include <cstdio>
 #include <filesystem>
 

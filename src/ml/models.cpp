@@ -547,7 +547,6 @@ Tensor FoundationModel::backward(const Tensor& grad_output) {
   const std::size_t E = cfg_.edge;
   const std::size_t P = cfg_.patch;
   const std::size_t ppa = patches_per_axis_;
-  const std::size_t pf = C * patch_voxels_;
   const std::size_t opf = Co * patch_voxels_;
 
   // Re-patchify the output gradient.

@@ -1,15 +1,16 @@
-// Phase-1 hypercube selection (the paper's H* methods).
-//
-// Hrandom draws cubes uniformly; Hmaxent follows Fig. 3's left column:
-//   1. MiniBatchKMeans on the cluster variable over the whole snapshot
-//      (subsampled for tractability);
-//   2. per-cube PMFs over the cluster labels;
-//   3. KL adjacency between cube distributions, node strengths (Eq. 2);
-//   4. entropy/strength-weighted random draw of num_hypercubes cubes.
-//
-// The SPMD variant decomposes step 2 over ranks (each rank owns a block of
-// cubes), allgathers the PMFs, and every rank performs the identical
-// weighted draw — making the selection independent of rank count.
+/// @file hypercube_selector.hpp
+/// @brief Phase-1 hypercube selection (the paper's H* methods).
+///
+/// Hrandom draws cubes uniformly; Hmaxent follows Fig. 3's left column:
+///   1. MiniBatchKMeans on the cluster variable over the whole snapshot
+///      (subsampled for tractability);
+///   2. per-cube PMFs over the cluster labels;
+///   3. KL adjacency between cube distributions, node strengths (Eq. 2);
+///   4. entropy/strength-weighted random draw of num_hypercubes cubes.
+///
+/// The SPMD variant decomposes step 2 over ranks (each rank owns a block of
+/// cubes), allgathers the PMFs, and every rank performs the identical
+/// weighted draw — making the selection independent of rank count.
 #pragma once
 
 #include <cstddef>

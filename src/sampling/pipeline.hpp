@@ -1,14 +1,15 @@
-// Two-phase sampling pipeline (the paper's subsample.py equivalent).
-//
-// Combines phase-1 hypercube selection (H*) with phase-2 point sampling
-// (X*) over one snapshot or a whole dataset, with optional SPMD
-// parallelism over cubes and energy accounting. The five Slurm cases of
-// Figs. 7–8 map to PipelineConfig as:
-//   Hmaxent-Xmaxent  {hypercube_method=maxent, point_method=maxent}
-//   Hmaxent-Xuips    {maxent, uips}
-//   Hrandom-Xfull    {random, full}
-//   Hrandom-Xmaxent  {random, maxent}
-//   Hrandom-Xuips    {random, uips}
+/// @file pipeline.hpp
+/// @brief Two-phase sampling pipeline (the paper's subsample.py equivalent).
+///
+/// Combines phase-1 hypercube selection (H*) with phase-2 point sampling
+/// (X*) over one snapshot or a whole dataset, with optional SPMD
+/// parallelism over cubes and energy accounting. The five Slurm cases of
+/// Figs. 7–8 map to PipelineConfig as:
+///   Hmaxent-Xmaxent  {hypercube_method=maxent, point_method=maxent}
+///   Hmaxent-Xuips    {maxent, uips}
+///   Hrandom-Xfull    {random, full}
+///   Hrandom-Xmaxent  {random, maxent}
+///   Hrandom-Xuips    {random, uips}
 #pragma once
 
 #include <cstddef>

@@ -1,9 +1,11 @@
-// Phase-2 point samplers (the paper's X* methods) and their registry.
-//
-// Each sampler selects a subset of points inside one hypercube. The
-// framework is pluggable (contribution C1): samplers register by name in a
-// process-wide registry, and the pipeline instantiates them from config
-// strings ("random", "uips", "maxent", ...).
+/// @file point_samplers.hpp
+/// @brief Phase-2 point samplers (the paper's X* methods) and their
+/// registry.
+///
+/// Each sampler selects a subset of points inside one hypercube. The
+/// framework is pluggable (contribution C1): samplers register by name in a
+/// process-wide registry, and the pipeline instantiates them from config
+/// strings ("random", "uips", "maxent", ...).
 #pragma once
 
 #include <functional>

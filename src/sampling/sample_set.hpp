@@ -1,4 +1,6 @@
-// Sampled-point containers shared by the sampling pipeline and trainers.
+/// @file sample_set.hpp
+/// @brief Sampled-point containers shared by the sampling pipeline and
+/// trainers.
 #pragma once
 
 #include <cstddef>

@@ -1,10 +1,11 @@
-// Temporal snapshot selection (paper §4.3).
-//
-// Periodic flows (e.g. OF2D's vortex shedding) produce snapshots whose
-// input PDFs repeat; training on all of them adds no information. The
-// temporal sampler scores each snapshot's input PDF against the already
-// selected set and keeps only snapshots that expand coverage:
-// greedy max-min Jensen–Shannon selection.
+/// @file temporal.hpp
+/// @brief Temporal snapshot selection (paper §4.3).
+///
+/// Periodic flows (e.g. OF2D's vortex shedding) produce snapshots whose
+/// input PDFs repeat; training on all of them adds no information. The
+/// temporal sampler scores each snapshot's input PDF against the already
+/// selected set and keeps only snapshots that expand coverage:
+/// greedy max-min Jensen–Shannon selection.
 #pragma once
 
 #include <cstddef>

@@ -1,5 +1,6 @@
-// Case runner: subsample -> train -> evaluate, the paper's T1 -> T2 -> T3
-// workflow driven by one config.
+/// @file case.hpp
+/// @brief Case runner: subsample -> train -> evaluate, the paper's
+/// T1 -> T2 -> T3 workflow driven by one config.
 #pragma once
 
 #include <string>

@@ -1,12 +1,13 @@
-// Config-driven case construction: the paper's case.yaml workflow.
-//
-// The reference runs `srun -n 32 python subsample.py case.yaml` and
-// `python train.py case.yaml`; this module maps the same YAML-subset keys
-// onto PipelineConfig / CaseConfig so the CLI tools (tools/) and user code
-// can drive SICKLE from config files. Key names follow the paper's sample
-// YAML (shared / subsample / train sections, nxsl/nysl/nzsl cube edges,
-// hypercubes/method sampling choices, arch / window / epochs training
-// knobs).
+/// @file config_driver.hpp
+/// @brief Config-driven case construction: the paper's case.yaml workflow.
+///
+/// The reference runs `srun -n 32 python subsample.py case.yaml` and
+/// `python train.py case.yaml`; this module maps the same YAML-subset keys
+/// onto PipelineConfig / CaseConfig so the CLI tools (tools/) and user code
+/// can drive SICKLE from config files. Key names follow the paper's sample
+/// YAML (shared / subsample / train sections, nxsl/nysl/nzsl cube edges,
+/// hypercubes/method sampling choices, arch / window / epochs training
+/// knobs).
 #pragma once
 
 #include <string>

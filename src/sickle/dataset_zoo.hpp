@@ -1,9 +1,10 @@
-// Dataset zoo: Table 1 of the paper, at single-node scale.
-//
-// Each bundle carries the generated data plus the paper's variable roles
-// (K-means cluster variable, NN inputs/outputs). Grid sizes are scaled
-// down per DESIGN.md §2; `scale` >= 1 multiplies the default extents for
-// larger runs.
+/// @file dataset_zoo.hpp
+/// @brief Dataset zoo: Table 1 of the paper, at single-node scale.
+///
+/// Each bundle carries the generated data plus the paper's variable roles
+/// (K-means cluster variable, NN inputs/outputs). Grid sizes are scaled
+/// down per DESIGN.md §2; `scale` >= 1 multiplies the default extents for
+/// larger runs.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,32 @@
+// Build-sanity smoke test: guards the public case-runner API surface that
+// README's quick-start and the CLI tools rely on. Construction with
+// defaults plus the CaseReport energy arithmetic must keep working even
+// when no dataset is generated.
+#include <gtest/gtest.h>
+
+#include "sickle/case.hpp"
+
+namespace {
+
+TEST(BuildSanity, CaseConfigDefaults) {
+  sickle::CaseConfig cfg;
+  EXPECT_EQ(cfg.arch, "MLP_Transformer");
+  EXPECT_EQ(cfg.window, 1u);
+  EXPECT_EQ(cfg.model_dim, 32u);
+  EXPECT_EQ(cfg.model_heads, 4u);
+  EXPECT_EQ(cfg.model_layers, 1u);
+}
+
+TEST(BuildSanity, CaseReportTotalKilojoules) {
+  sickle::CaseReport report;
+  EXPECT_DOUBLE_EQ(report.total_kilojoules(), 0.0);
+
+  report.sampling_kilojoules = 1.5;
+  report.training_kilojoules = 2.25;
+  EXPECT_DOUBLE_EQ(report.total_kilojoules(), 3.75);
+
+  report.training_kilojoules = 0.0;
+  EXPECT_DOUBLE_EQ(report.total_kilojoules(), report.sampling_kilojoules);
+}
+
+}  // namespace

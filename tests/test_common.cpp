@@ -222,7 +222,7 @@ TEST(Config, CommentsIgnored) {
 TEST(Config, DefaultsAndMissing) {
   const auto cfg = Config::parse("train:\n  batch: 16\n");
   EXPECT_EQ(cfg.get_int("train", "missing", 5), 5);
-  EXPECT_THROW(cfg.get_int("train", "missing"), RuntimeError);
+  EXPECT_THROW((void)cfg.get_int("train", "missing"), RuntimeError);
   EXPECT_TRUE(cfg.get_bool("train", "absent", true));
 }
 
@@ -232,7 +232,7 @@ TEST(Config, MalformedLineThrows) {
 
 TEST(Config, BadIntegerThrows) {
   const auto cfg = Config::parse("a:\n  k: xyz\n");
-  EXPECT_THROW(cfg.get_int("a", "k"), RuntimeError);
+  EXPECT_THROW((void)cfg.get_int("a", "k"), RuntimeError);
 }
 
 TEST(Config, SetOverrides) {

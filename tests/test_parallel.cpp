@@ -137,7 +137,9 @@ TEST(World, BlockRangePartitionsExactly) {
   std::size_t total = 0;
   for (std::size_t r = 0; r < 3; ++r) {
     total += ranges[r].second - ranges[r].first;
-    if (r > 0) EXPECT_EQ(ranges[r].first, ranges[r - 1].second);
+    if (r > 0) {
+      EXPECT_EQ(ranges[r].first, ranges[r - 1].second);
+    }
   }
   EXPECT_EQ(total, 10u);
 }

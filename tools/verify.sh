@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Tier-1 verify: the exact command from ROADMAP.md / README.md.
+# Run from anywhere; operates on the repo root (parent of this script).
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
