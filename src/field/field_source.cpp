@@ -1,0 +1,27 @@
+#include "field/field_source.hpp"
+
+namespace sickle::field {
+
+void SnapshotSource::gather(const std::string& var,
+                            std::span<const std::size_t> idx,
+                            std::span<double> out) const {
+  SICKLE_CHECK(out.size() == idx.size());
+  const auto data = snap_->get(var).data();
+  for (std::size_t i = 0; i < idx.size(); ++i) out[i] = data[idx[i]];
+}
+
+Hypercube extract_cube(const FieldSource& src, const CubeTiling& tiling,
+                       const CubeCoord& c, std::span<const std::string> vars) {
+  Hypercube cube;
+  cube.coord = c;
+  cube.indices = tiling.point_indices(c);
+  cube.variables.assign(vars.begin(), vars.end());
+  cube.values.reserve(vars.size());
+  for (const auto& name : vars) {
+    cube.values.push_back(
+        src.gather(name, std::span<const std::size_t>(cube.indices)));
+  }
+  return cube;
+}
+
+}  // namespace sickle::field

@@ -1,0 +1,81 @@
+/// @file field_source.hpp
+/// @brief Read-only field access abstraction for in-memory and out-of-core
+/// snapshots.
+///
+/// The sampling pipeline only ever *gathers* variable values at grid
+/// indices (k-means fit subsets, per-cube point sets); it never needs a
+/// whole field span. FieldSource captures exactly that contract, so the
+/// same selector/sampler code runs over an in-memory Snapshot
+/// (SnapshotSource, zero-copy) or a chunked on-disk store
+/// (store::ChunkReader, LRU-cached) without materializing the full grid.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "field/field.hpp"
+#include "field/hypercube.hpp"
+
+namespace sickle::field {
+
+/// Read-only random access to named variables on a shared grid.
+class FieldSource {
+ public:
+  virtual ~FieldSource() = default;
+
+  [[nodiscard]] virtual const GridShape& shape() const noexcept = 0;
+
+  /// Variable names, in a stable order.
+  [[nodiscard]] virtual std::vector<std::string> variables() const = 0;
+
+  [[nodiscard]] virtual bool has(const std::string& var) const = 0;
+
+  /// Gather `var` at arbitrary global flat indices: out[i] = var[idx[i]].
+  /// `out.size()` must equal `idx.size()`. Throws for unknown variables.
+  virtual void gather(const std::string& var,
+                      std::span<const std::size_t> idx,
+                      std::span<double> out) const = 0;
+
+  /// Allocating convenience wrapper around gather().
+  [[nodiscard]] std::vector<double> gather(
+      const std::string& var, std::span<const std::size_t> idx) const {
+    std::vector<double> out(idx.size());
+    gather(var, idx, std::span<double>(out));
+    return out;
+  }
+};
+
+/// Zero-copy adapter presenting an in-memory Snapshot as a FieldSource.
+/// The snapshot must outlive the source.
+class SnapshotSource final : public FieldSource {
+ public:
+  explicit SnapshotSource(const Snapshot& snap) noexcept : snap_(&snap) {}
+
+  [[nodiscard]] const GridShape& shape() const noexcept override {
+    return snap_->shape();
+  }
+  [[nodiscard]] std::vector<std::string> variables() const override {
+    return snap_->names();
+  }
+  [[nodiscard]] bool has(const std::string& var) const override {
+    return snap_->has(var);
+  }
+  void gather(const std::string& var, std::span<const std::size_t> idx,
+              std::span<double> out) const override;
+
+  [[nodiscard]] const Snapshot& snapshot() const noexcept { return *snap_; }
+
+ private:
+  const Snapshot* snap_;
+};
+
+/// Extract the named variables inside cube `c` from any FieldSource — the
+/// out-of-core twin of extract_cube(Snapshot&, ...), which delegates here.
+[[nodiscard]] Hypercube extract_cube(const FieldSource& src,
+                                     const CubeTiling& tiling,
+                                     const CubeCoord& c,
+                                     std::span<const std::string> vars);
+
+}  // namespace sickle::field

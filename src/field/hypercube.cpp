@@ -1,5 +1,7 @@
 #include "field/hypercube.hpp"
 
+#include "field/field_source.hpp"
+
 namespace sickle::field {
 
 CubeTiling::CubeTiling(GridShape grid, CubeSpec spec)
@@ -51,19 +53,9 @@ std::vector<double> Hypercube::feature(std::size_t p) const {
 
 Hypercube extract_cube(const Snapshot& snap, const CubeTiling& tiling,
                        const CubeCoord& c, std::span<const std::string> vars) {
-  Hypercube cube;
-  cube.coord = c;
-  cube.indices = tiling.point_indices(c);
-  cube.variables.assign(vars.begin(), vars.end());
-  cube.values.reserve(vars.size());
-  for (const auto& name : vars) {
-    const auto data = snap.get(name).data();
-    std::vector<double> v;
-    v.reserve(cube.indices.size());
-    for (const std::size_t idx : cube.indices) v.push_back(data[idx]);
-    cube.values.push_back(std::move(v));
-  }
-  return cube;
+  // Single code path with the out-of-core variant: the streaming pipeline's
+  // equivalence guarantee rests on both extracting identical cubes.
+  return extract_cube(SnapshotSource(snap), tiling, c, vars);
 }
 
 }  // namespace sickle::field

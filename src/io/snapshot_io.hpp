@@ -1,17 +1,18 @@
-// Binary snapshot / sample-set storage (.skl format).
-//
-// One of SICKLE's practical benefits is storage reduction: a feature-rich
-// subsampled dataset occupies a small fraction of the raw DNS checkpoint.
-// This module provides the on-disk format for both full snapshots and
-// sampled subsets, so the storage-reduction experiment can compare real
-// byte counts.
-//
-// Layout (little-endian, host order — single-platform scientific format):
-//   magic "SKL1" | u64 nx ny nz | f64 time | u64 nfields
-//   per field: u32 name_len | name bytes | nx*ny*nz f64
-// Sample sets ("SKS1"):
-//   magic | u64 npoints | u64 nvars | per var name | u64 indices | features
-//   row-major [npoints][nvars].
+/// @file snapshot_io.hpp
+/// @brief Binary snapshot / sample-set storage (flat .skl format).
+///
+/// One of SICKLE's practical benefits is storage reduction: a feature-rich
+/// subsampled dataset occupies a small fraction of the raw DNS checkpoint.
+/// This module provides the flat load-everything on-disk format for full
+/// snapshots and sampled subsets; the chunked compressed SKL2 container
+/// for out-of-core access lives in store/snapshot_store.hpp.
+///
+/// Layout (little-endian, host order — single-platform scientific format):
+///   magic "SKL1" | u64 nx ny nz | f64 time | u64 nfields
+///   per field: u32 name_len | name bytes | nx*ny*nz f64
+/// Sample sets ("SKS1"):
+///   magic | u64 npoints | u64 nvars | per var name | u64 indices | features
+///   row-major [npoints][nvars].
 #pragma once
 
 #include <cstddef>

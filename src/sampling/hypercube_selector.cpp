@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "cluster/kmeans.hpp"
 #include "sampling/point_samplers.hpp"
@@ -11,34 +12,44 @@ namespace sickle::sampling {
 
 namespace {
 
-/// Fit 1D k-means to (a subsample of) the cluster variable.
-cluster::KMeansResult fit_clusters(std::span<const double> cv,
+/// Fit 1D k-means to (a subsample of) the cluster variable. RNG consumption
+/// matches the historical in-memory implementation exactly (indices are
+/// drawn first, values gathered after), so Snapshot- and store-backed runs
+/// select identical clusterings.
+cluster::KMeansResult fit_clusters(const field::FieldSource& src,
                                    const HypercubeSelectorConfig& cfg,
                                    Rng& rng) {
   cluster::KMeansOptions opts;
   opts.k = std::max<std::size_t>(2, cfg.num_clusters);
   opts.max_iterations = 50;
-  const std::size_t n = cv.size();
+  const std::size_t n = src.shape().size();
   if (n <= cfg.cluster_subsample) {
-    return cluster::minibatch_kmeans(cv, n, 1, opts, rng);
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    const auto cv = src.gather(cfg.cluster_var,
+                               std::span<const std::size_t>(all));
+    return cluster::minibatch_kmeans(std::span<const double>(cv), n, 1, opts,
+                                     rng);
   }
-  std::vector<double> sub(cfg.cluster_subsample);
-  for (double& x : sub) x = cv[rng.uniform_int(n)];
+  std::vector<std::size_t> pick(cfg.cluster_subsample);
+  for (std::size_t& i : pick) i = rng.uniform_int(n);
+  const auto sub = src.gather(cfg.cluster_var,
+                              std::span<const std::size_t>(pick));
   return cluster::minibatch_kmeans(std::span<const double>(sub), sub.size(),
                                    1, opts, rng);
 }
 
 /// PMF of cluster labels for the points of one cube.
-std::vector<double> cube_label_pmf(const field::Snapshot& snap,
+std::vector<double> cube_label_pmf(const field::FieldSource& src,
                                    const field::CubeTiling& tiling,
                                    std::size_t cube_id,
                                    const cluster::KMeansResult& clusters,
                                    const std::string& cluster_var) {
   const auto indices = tiling.point_indices(tiling.coord(cube_id));
-  const auto data = snap.get(cluster_var).data();
+  const auto values =
+      src.gather(cluster_var, std::span<const std::size_t>(indices));
   std::vector<double> pmf(clusters.k, 0.0);
-  for (const std::size_t idx : indices) {
-    const double v = data[idx];
+  for (const double v : values) {
     pmf[clusters.assign(std::span<const double>(&v, 1))] += 1.0;
   }
   const double inv = 1.0 / static_cast<double>(indices.size());
@@ -89,23 +100,28 @@ void tally_scan(const HypercubeSelectorConfig& cfg, std::size_t points) {
 
 }  // namespace
 
-std::vector<double> hypercube_strengths(const field::Snapshot& snap,
+std::vector<double> hypercube_strengths(const field::FieldSource& src,
                                         const field::CubeTiling& tiling,
                                         const HypercubeSelectorConfig& cfg) {
   Rng rng(cfg.seed, /*stream=*/0x4C);
-  const auto cv = snap.get(cfg.cluster_var).data();
-  const auto clusters = fit_clusters(cv, cfg, rng);
+  const auto clusters = fit_clusters(src, cfg, rng);
   std::vector<std::vector<double>> pmfs;
   pmfs.reserve(tiling.count());
   for (std::size_t c = 0; c < tiling.count(); ++c) {
-    pmfs.push_back(cube_label_pmf(snap, tiling, c, clusters,
+    pmfs.push_back(cube_label_pmf(src, tiling, c, clusters,
                                   cfg.cluster_var));
   }
-  tally_scan(cfg, snap.shape().size());
+  tally_scan(cfg, src.shape().size());
   return strengths_from_pmfs(pmfs);
 }
 
-std::vector<std::size_t> select_hypercubes(const field::Snapshot& snap,
+std::vector<double> hypercube_strengths(const field::Snapshot& snap,
+                                        const field::CubeTiling& tiling,
+                                        const HypercubeSelectorConfig& cfg) {
+  return hypercube_strengths(field::SnapshotSource(snap), tiling, cfg);
+}
+
+std::vector<std::size_t> select_hypercubes(const field::FieldSource& src,
                                            const field::CubeTiling& tiling,
                                            const HypercubeSelectorConfig& cfg) {
   Rng rng(cfg.seed, /*stream=*/0xD1);
@@ -117,20 +133,25 @@ std::vector<std::size_t> select_hypercubes(const field::Snapshot& snap,
   }
   SICKLE_CHECK_MSG(cfg.method == "maxent" || cfg.method == "entropy",
                    "unknown hypercube method: " + cfg.method);
-  const auto cv = snap.get(cfg.cluster_var).data();
   Rng fit_rng(cfg.seed, /*stream=*/0xF17);
-  const auto clusters = fit_clusters(cv, cfg, fit_rng);
+  const auto clusters = fit_clusters(src, cfg, fit_rng);
   std::vector<std::vector<double>> pmfs;
   pmfs.reserve(n);
   for (std::size_t c = 0; c < n; ++c) {
-    pmfs.push_back(cube_label_pmf(snap, tiling, c, clusters,
+    pmfs.push_back(cube_label_pmf(src, tiling, c, clusters,
                                   cfg.cluster_var));
   }
-  tally_scan(cfg, snap.shape().size());
+  tally_scan(cfg, src.shape().size());
   const std::vector<double> weights = (cfg.method == "maxent")
                                           ? strengths_from_pmfs(pmfs)
                                           : entropies_from_pmfs(pmfs);
   return draw_cubes(std::span<const double>(weights), k, rng);
+}
+
+std::vector<std::size_t> select_hypercubes(const field::Snapshot& snap,
+                                           const field::CubeTiling& tiling,
+                                           const HypercubeSelectorConfig& cfg) {
+  return select_hypercubes(field::SnapshotSource(snap), tiling, cfg);
 }
 
 std::vector<std::size_t> select_hypercubes(const field::Snapshot& snap,
@@ -149,11 +170,11 @@ std::vector<std::size_t> select_hypercubes(const field::Snapshot& snap,
 
   // Root fits the clustering (as the reference does), then broadcasts the
   // centroids so labels are consistent across ranks.
-  const auto cv = snap.get(cfg.cluster_var).data();
+  const field::SnapshotSource src(snap);
   std::vector<double> centroids;
   if (comm.is_root()) {
     Rng fit_rng(cfg.seed, /*stream=*/0xF17);
-    centroids = fit_clusters(cv, cfg, fit_rng).centroids;
+    centroids = fit_clusters(src, cfg, fit_rng).centroids;
   }
   comm.broadcast(centroids, 0);
   cluster::KMeansResult clusters;
@@ -166,7 +187,7 @@ std::vector<std::size_t> select_hypercubes(const field::Snapshot& snap,
   std::vector<double> local_flat;
   local_flat.reserve((end - begin) * clusters.k);
   for (std::size_t c = begin; c < end; ++c) {
-    const auto pmf = cube_label_pmf(snap, tiling, c, clusters,
+    const auto pmf = cube_label_pmf(src, tiling, c, clusters,
                                     cfg.cluster_var);
     local_flat.insert(local_flat.end(), pmf.begin(), pmf.end());
   }

@@ -19,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "energy/energy.hpp"
+#include "field/field_source.hpp"
 #include "field/hypercube.hpp"
 #include "parallel/world.hpp"
 
@@ -39,6 +40,14 @@ struct HypercubeSelectorConfig {
     const field::Snapshot& snap, const field::CubeTiling& tiling,
     const HypercubeSelectorConfig& cfg);
 
+/// Source-based serial entry point: identical selection to the Snapshot
+/// overload for equal data (the Snapshot overload delegates here). Values
+/// are fetched with FieldSource::gather, so a chunked on-disk source never
+/// materializes the whole grid.
+[[nodiscard]] std::vector<std::size_t> select_hypercubes(
+    const field::FieldSource& src, const field::CubeTiling& tiling,
+    const HypercubeSelectorConfig& cfg);
+
 /// SPMD entry point: must be called by every rank of `comm` collectively;
 /// all ranks return the identical selection.
 [[nodiscard]] std::vector<std::size_t> select_hypercubes(
@@ -49,6 +58,10 @@ struct HypercubeSelectorConfig {
 /// KL row sum of cube i's cluster-label PMF against all other cubes.
 [[nodiscard]] std::vector<double> hypercube_strengths(
     const field::Snapshot& snap, const field::CubeTiling& tiling,
+    const HypercubeSelectorConfig& cfg);
+
+[[nodiscard]] std::vector<double> hypercube_strengths(
+    const field::FieldSource& src, const field::CubeTiling& tiling,
     const HypercubeSelectorConfig& cfg);
 
 }  // namespace sickle::sampling

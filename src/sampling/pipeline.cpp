@@ -1,6 +1,7 @@
 #include "sampling/pipeline.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/timer.hpp"
 #include "sampling/hypercube_selector.hpp"
@@ -63,7 +64,7 @@ HypercubeSelectorConfig make_selector_config(const PipelineConfig& cfg,
 /// Extract + subsample one cube. The per-cube RNG is forked from the seed
 /// and the (snapshot, cube) pair so results do not depend on processing
 /// order or rank decomposition.
-CubeSamples sample_one_cube(const field::Snapshot& snap,
+CubeSamples sample_one_cube(const field::FieldSource& src,
                             const field::CubeTiling& tiling,
                             std::size_t snapshot_index, std::size_t cube_id,
                             const PipelineConfig& cfg,
@@ -71,7 +72,7 @@ CubeSamples sample_one_cube(const field::Snapshot& snap,
                             const SamplerContext& ctx) {
   const auto vars = pipeline_variables(cfg);
   const field::Hypercube cube = field::extract_cube(
-      snap, tiling, tiling.coord(cube_id),
+      src, tiling, tiling.coord(cube_id),
       std::span<const std::string>(vars));
 
   Rng rng = Rng(cfg.seed).fork(snapshot_index * 1000003 + cube_id);
@@ -92,45 +93,54 @@ CubeSamples sample_one_cube(const field::Snapshot& snap,
   return out;
 }
 
-}  // namespace
-
-PipelineResult run_pipeline(const field::Snapshot& snap,
-                            const PipelineConfig& cfg) {
+/// One snapshot's worth of the pipeline over an abstract source — the
+/// single implementation behind the in-memory, dataset, and streaming
+/// entry points (the equivalence guarantee of run_pipeline_streaming).
+PipelineResult run_over_source(const field::FieldSource& src,
+                               const PipelineConfig& cfg,
+                               std::size_t snapshot_index) {
   PipelineResult result;
   Timer timer;
-  const field::CubeTiling tiling(snap.shape(), cfg.cube);
-  const auto cube_ids = select_hypercubes(
-      snap, tiling, make_selector_config(cfg, &result.energy));
+  const field::CubeTiling tiling(src.shape(), cfg.cube);
+  auto sel_cfg = make_selector_config(cfg, &result.energy);
+  sel_cfg.seed = cfg.seed + snapshot_index;  // fresh cube draw per snapshot
+  const auto cube_ids = select_hypercubes(src, tiling, sel_cfg);
   const auto sampler = SamplerRegistry::instance().create(cfg.point_method);
   const SamplerContext ctx = make_context(cfg, &result.energy);
   for (const std::size_t cube_id : cube_ids) {
-    result.cubes.push_back(
-        sample_one_cube(snap, tiling, 0, cube_id, cfg, *sampler, ctx));
+    result.cubes.push_back(sample_one_cube(src, tiling, snapshot_index,
+                                           cube_id, cfg, *sampler, ctx));
   }
   result.sampling_seconds = timer.seconds();
   result.energy.add_seconds(result.sampling_seconds);
   return result;
 }
 
+}  // namespace
+
+PipelineResult run_pipeline(const field::Snapshot& snap,
+                            const PipelineConfig& cfg) {
+  return run_over_source(field::SnapshotSource(snap), cfg, 0);
+}
+
+PipelineResult run_pipeline_streaming(const field::FieldSource& src,
+                                      const PipelineConfig& cfg,
+                                      std::size_t snapshot_index) {
+  return run_over_source(src, cfg, snapshot_index);
+}
+
 PipelineResult run_pipeline(const field::Dataset& dataset,
                             const PipelineConfig& cfg) {
   PipelineResult result;
   Timer timer;
-  const field::CubeTiling tiling(dataset.shape(), cfg.cube);
-  const auto sampler = SamplerRegistry::instance().create(cfg.point_method);
-  const SamplerContext ctx = make_context(cfg, &result.energy);
   for (std::size_t t = 0; t < dataset.num_snapshots(); ++t) {
-    const auto& snap = dataset.snapshot(t);
-    auto sel_cfg = make_selector_config(cfg, &result.energy);
-    sel_cfg.seed = cfg.seed + t;  // fresh cube draw per snapshot
-    const auto cube_ids = select_hypercubes(snap, tiling, sel_cfg);
-    for (const std::size_t cube_id : cube_ids) {
-      result.cubes.push_back(
-          sample_one_cube(snap, tiling, t, cube_id, cfg, *sampler, ctx));
-    }
+    auto r = run_over_source(field::SnapshotSource(dataset.snapshot(t)),
+                             cfg, t);
+    result.energy.merge(r.energy);
+    std::move(r.cubes.begin(), r.cubes.end(),
+              std::back_inserter(result.cubes));
   }
   result.sampling_seconds = timer.seconds();
-  result.energy.add_seconds(result.sampling_seconds);
   return result;
 }
 
@@ -138,6 +148,7 @@ PipelineResult run_pipeline(const field::Snapshot& snap,
                             const PipelineConfig& cfg, Comm& comm) {
   PipelineResult result;
   Timer timer;
+  const field::SnapshotSource src(snap);
   const field::CubeTiling tiling(snap.shape(), cfg.cube);
   const auto cube_ids = select_hypercubes(
       snap, tiling, make_selector_config(cfg, &result.energy), comm);
@@ -150,7 +161,7 @@ PipelineResult run_pipeline(const field::Snapshot& snap,
   local.reserve(end - begin);
   for (std::size_t i = begin; i < end; ++i) {
     local.push_back(
-        sample_one_cube(snap, tiling, 0, cube_ids[i], cfg, *sampler, ctx));
+        sample_one_cube(src, tiling, 0, cube_ids[i], cfg, *sampler, ctx));
   }
 
   // Exchange: flatten local samples (cube_id, n, indices, features) and

@@ -18,6 +18,7 @@
 
 #include "energy/energy.hpp"
 #include "field/field.hpp"
+#include "field/field_source.hpp"
 #include "field/hypercube.hpp"
 #include "parallel/world.hpp"
 #include "sampling/sample_set.hpp"
@@ -58,6 +59,17 @@ struct PipelineResult {
 /// Serial pipeline over one snapshot.
 [[nodiscard]] PipelineResult run_pipeline(const field::Snapshot& snap,
                                           const PipelineConfig& cfg);
+
+/// Out-of-core pipeline over any FieldSource — in particular a
+/// store::ChunkReader, whose LRU block cache bounds memory so snapshots
+/// larger than RAM can be sampled chunk-by-chunk. Produces exactly the
+/// sample set run_pipeline would on the equivalent in-memory snapshot
+/// (bit-exact for lossless store codecs; within tolerance for quantized
+/// ones). `snapshot_index` reproduces the t-th snapshot's contribution of
+/// the Dataset overload (selector seed offset + per-cube RNG fork).
+[[nodiscard]] PipelineResult run_pipeline_streaming(
+    const field::FieldSource& src, const PipelineConfig& cfg,
+    std::size_t snapshot_index = 0);
 
 /// Serial pipeline over every snapshot of a dataset.
 [[nodiscard]] PipelineResult run_pipeline(const field::Dataset& dataset,

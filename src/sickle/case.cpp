@@ -1,10 +1,16 @@
 #include "sickle/case.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <iterator>
 #include <map>
 #include <memory>
 
+#include "common/timer.hpp"
 #include "field/hypercube.hpp"
 #include "ml/models.hpp"
 #include "sampling/point_samplers.hpp"
@@ -89,6 +95,50 @@ std::vector<float> sampled_row(const sampling::CubeSamples& cs,
   return row;
 }
 
+/// Spill every snapshot to a temporary SKL2 store and sample it
+/// out-of-core — the case runner's larger-than-RAM data path. Produces the
+/// same cubes run_pipeline(dataset, ...) would for lossless codecs (the
+/// streaming pipeline reproduces each snapshot's seed offset and RNG
+/// forks).
+sampling::PipelineResult sample_via_store(const field::Dataset& data,
+                                          const sampling::PipelineConfig& pl,
+                                          const store::StoreOptions& opts,
+                                          std::size_t* store_bytes) {
+  namespace fs = std::filesystem;
+  static std::atomic<std::uint64_t> run_id{0};
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("sickle_case_store_" + std::to_string(::getpid()) + "_" +
+       std::to_string(run_id.fetch_add(1)));
+  fs::create_directories(dir);
+  // Spilled snapshots can be huge; make sure a mid-run throw (missing
+  // cluster_var, disk full, ...) does not orphan them in the temp dir.
+  struct DirGuard {
+    fs::path dir;
+    ~DirGuard() {
+      std::error_code ec;
+      fs::remove_all(dir, ec);
+    }
+  } guard{dir};
+
+  sampling::PipelineResult result;
+  Timer timer;
+  for (std::size_t t = 0; t < data.num_snapshots(); ++t) {
+    const std::string path =
+        (dir / ("snap_" + std::to_string(t) + ".skl2")).string();
+    const auto written = store::write_store(data.snapshot(t), path, opts);
+    if (store_bytes != nullptr) *store_bytes += written.file_bytes;
+    const store::ChunkReader reader(path, opts.cache_bytes);
+    auto r = sampling::run_pipeline_streaming(reader, pl, t);
+    result.energy.merge(r.energy);
+    std::move(r.cubes.begin(), r.cubes.end(),
+              std::back_inserter(result.cubes));
+    fs::remove(path);
+  }
+  result.sampling_seconds = timer.seconds();
+  return result;
+}
+
 }  // namespace
 
 ml::TensorDataset build_training_set(const DatasetBundle& bundle,
@@ -167,7 +217,12 @@ CaseReport run_case(const DatasetBundle& bundle, CaseConfig cfg) {
   if (pl.cluster_var.empty()) pl.cluster_var = bundle.cluster_var;
 
   CaseReport report;
-  const sampling::PipelineResult sampled = run_pipeline(bundle.data, pl);
+  SICKLE_CHECK_MSG(cfg.backend == "memory" || cfg.backend == "skl2",
+                   "unknown case backend: " + cfg.backend);
+  const sampling::PipelineResult sampled =
+      cfg.backend == "skl2"
+          ? sample_via_store(bundle.data, pl, cfg.store, &report.store_bytes)
+          : run_pipeline(bundle.data, pl);
   report.sampled_points = sampled.total_points();
   report.sampling_seconds = sampled.sampling_seconds;
   // Node-projected energy: static power charged against roofline node

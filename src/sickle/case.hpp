@@ -8,6 +8,7 @@
 #include "ml/trainer.hpp"
 #include "sampling/pipeline.hpp"
 #include "sickle/dataset_zoo.hpp"
+#include "store/snapshot_store.hpp"
 
 namespace sickle {
 
@@ -20,12 +21,19 @@ struct CaseConfig {
   std::size_t model_dim = 32;
   std::size_t model_heads = 4;
   std::size_t model_layers = 1;
+  /// Sampling backend: "memory" runs the in-RAM pipeline; "skl2" spills
+  /// each snapshot to a chunked compressed store and samples out-of-core
+  /// through a ChunkReader (identical samples for lossless codecs).
+  std::string backend = "memory";
+  store::StoreOptions store;  ///< chunking/codec knobs for the skl2 backend
 };
 
 struct CaseReport {
   std::size_t sampled_points = 0;
   double sampling_seconds = 0.0;
   double sampling_kilojoules = 0.0;
+  /// Compressed on-disk bytes of the spilled snapshots (skl2 backend only).
+  std::size_t store_bytes = 0;
   ml::TrainReport train;
   double training_kilojoules = 0.0;
 

@@ -61,9 +61,38 @@ sampling::PipelineConfig pipeline_from_config(const Config& cfg) {
   return pl;
 }
 
+store::StoreOptions store_options_from_config(const Config& cfg) {
+  store::StoreOptions opts;
+  const long edge = cfg.get_int("store", "chunk", 32);
+  const long cx = cfg.get_int("store", "chunk_x", edge);
+  const long cy = cfg.get_int("store", "chunk_y", edge);
+  const long cz = cfg.get_int("store", "chunk_z", edge);
+  const long cache_mb = cfg.get_int("store", "cache_mb", 64);
+  // Fail at config time, not at the first mid-run snapshot spill.
+  if (cx <= 0 || cy <= 0 || cz <= 0) {
+    throw RuntimeError("store chunk edges must be positive");
+  }
+  if (cache_mb <= 0) {
+    throw RuntimeError("store cache_mb must be positive");
+  }
+  opts.chunk.nx = static_cast<std::size_t>(cx);
+  opts.chunk.ny = static_cast<std::size_t>(cy);
+  opts.chunk.nz = static_cast<std::size_t>(cz);
+  opts.codec = lower(cfg.get_str("store", "codec", "delta"));
+  opts.tolerance = cfg.get_double("store", "tolerance", 1e-6);
+  opts.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  (void)store::make_codec(opts.codec, opts.tolerance);  // validates the name
+  return opts;
+}
+
 CaseConfig case_from_config(const Config& cfg) {
   CaseConfig cc;
   cc.pipeline = pipeline_from_config(cfg);
+  cc.backend = lower(cfg.get_str("store", "backend", "memory"));
+  if (cc.backend != "memory" && cc.backend != "skl2") {
+    throw RuntimeError("unknown store backend: " + cc.backend);
+  }
+  cc.store = store_options_from_config(cfg);
   cc.arch = normalize_arch(
       cfg.get_str("train", "arch", "MLP_transformer"));
   cc.window = static_cast<std::size_t>(cfg.get_int("train", "window", 1));

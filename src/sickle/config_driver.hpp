@@ -26,6 +26,16 @@ namespace sickle {
 [[nodiscard]] sampling::PipelineConfig pipeline_from_config(
     const Config& cfg);
 
+/// Build the SKL2 store options from the `store` section:
+///   store:
+///     backend: skl2        # memory | skl2 (read via case_from_config)
+///     codec: delta         # raw | delta | quant
+///     tolerance: 1e-6      # quant max abs error
+///     chunk: 32            # cubic chunk edge; chunk_x/y/z override
+///     cache_mb: 64         # reader block-cache capacity
+[[nodiscard]] store::StoreOptions store_options_from_config(
+    const Config& cfg);
+
 /// Build the full case (pipeline + training) from all three sections.
 [[nodiscard]] CaseConfig case_from_config(const Config& cfg);
 

@@ -1,7 +1,9 @@
-// Descriptive statistics: moments, quantiles, tail-coverage metrics.
-//
-// Tail coverage is the quantitative form of the paper's Fig. 5 claim —
-// "MaxEnt achieves the best match, especially in the tails".
+/// @file descriptive.hpp
+/// @brief Descriptive statistics: moments, quantiles, tail-coverage
+/// metrics.
+///
+/// Tail coverage is the quantitative form of the paper's Fig. 5 claim —
+/// "MaxEnt achieves the best match, especially in the tails".
 #pragma once
 
 #include <cstddef>

@@ -1,9 +1,10 @@
-// Phase-space uniformity metrics.
-//
-// Fig. 4 of the paper shows UIPS "clumping" in 3D anisotropic flows: the
-// selected samples stop covering phase space uniformly. We quantify that
-// with (a) a cell-occupancy clumping index and (b) nearest-neighbour
-// statistics, both standard spatial-uniformity diagnostics.
+/// @file discrepancy.hpp
+/// @brief Phase-space uniformity metrics.
+///
+/// Fig. 4 of the paper shows UIPS "clumping" in 3D anisotropic flows: the
+/// selected samples stop covering phase space uniformly. We quantify that
+/// with (a) a cell-occupancy clumping index and (b) nearest-neighbour
+/// statistics, both standard spatial-uniformity diagnostics.
 #pragma once
 
 #include <cstddef>

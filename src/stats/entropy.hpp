@@ -1,9 +1,11 @@
-// Information-theoretic quantities at the heart of MaxEnt sampling.
-//
-// The paper (Eqs. 1–2) computes Kullback–Leibler divergences between
-// per-cluster distributions of a target variable, assembles them into an
-// adjacency matrix A_ij = KL(P(C_i) || P(C_j)), and reduces to per-cluster
-// "node strengths" (row sums) that weight the sampling draw.
+/// @file entropy.hpp
+/// @brief Information-theoretic quantities at the heart of MaxEnt
+/// sampling.
+///
+/// The paper (Eqs. 1–2) computes Kullback–Leibler divergences between
+/// per-cluster distributions of a target variable, assembles them into an
+/// adjacency matrix A_ij = KL(P(C_i) || P(C_j)), and reduces to
+/// per-cluster "node strengths" (row sums) that weight the sampling draw.
 #pragma once
 
 #include <cstddef>

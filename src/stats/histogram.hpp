@@ -1,9 +1,10 @@
-// Binned density estimation.
-//
-// The paper's PDF comparisons (Fig. 5) and the UIPS sampler both rely on
-// fixed-bin histograms ("PDF comparisons were binned using a fixed bin size
-// of 100 across all datasets"). Histogram supports 1D; HistogramND supports
-// the low-dimensional joint phase-space densities UIPS needs.
+/// @file histogram.hpp
+/// @brief Binned density estimation (1D, ND, and a KDE cross-check).
+///
+/// The paper's PDF comparisons (Fig. 5) and the UIPS sampler both rely on
+/// fixed-bin histograms ("PDF comparisons were binned using a fixed bin
+/// size of 100 across all datasets"). Histogram supports 1D; HistogramND
+/// supports the low-dimensional joint phase-space densities UIPS needs.
 #pragma once
 
 #include <cstddef>

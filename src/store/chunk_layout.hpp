@@ -1,0 +1,101 @@
+/// @file chunk_layout.hpp
+/// @brief Fixed-size 3D chunk decomposition of a grid for the SKL2 store.
+///
+/// Unlike sampling's CubeTiling (which drops trailing partial cubes), the
+/// store must cover every grid point, so edge chunks are allowed to be
+/// partial. Chunk interiors are serialized z-fastest, matching the grid's
+/// global index order, so spatially adjacent values stay adjacent for the
+/// delta codec.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "field/field.hpp"
+
+namespace sickle::store {
+
+/// Maps global flat grid indices to (chunk id, local offset) and back.
+class ChunkLayout {
+ public:
+  /// `chunk` holds the nominal chunk edge lengths; edges are clamped to the
+  /// grid extents, so an oversized chunk spec degrades to one chunk.
+  ChunkLayout(field::GridShape grid, field::GridShape chunk)
+      : grid_(grid),
+        chunk_{std::min(chunk.nx, grid.nx), std::min(chunk.ny, grid.ny),
+               std::min(chunk.nz, grid.nz)} {
+    SICKLE_CHECK_MSG(grid_.size() > 0, "cannot chunk an empty grid");
+    SICKLE_CHECK_MSG(chunk_.nx > 0 && chunk_.ny > 0 && chunk_.nz > 0,
+                     "chunk edges must be positive");
+    ncx_ = (grid_.nx + chunk_.nx - 1) / chunk_.nx;
+    ncy_ = (grid_.ny + chunk_.ny - 1) / chunk_.ny;
+    ncz_ = (grid_.nz + chunk_.nz - 1) / chunk_.nz;
+  }
+
+  [[nodiscard]] const field::GridShape& grid() const noexcept {
+    return grid_;
+  }
+  /// Nominal (interior) chunk edge lengths.
+  [[nodiscard]] const field::GridShape& chunk_shape() const noexcept {
+    return chunk_;
+  }
+  [[nodiscard]] std::size_t count() const noexcept {
+    return ncx_ * ncy_ * ncz_;
+  }
+  [[nodiscard]] std::size_t chunks_x() const noexcept { return ncx_; }
+  [[nodiscard]] std::size_t chunks_y() const noexcept { return ncy_; }
+  [[nodiscard]] std::size_t chunks_z() const noexcept { return ncz_; }
+
+  /// Extents of one chunk: grid origin + actual edge lengths (edge chunks
+  /// may be smaller than the nominal shape).
+  struct Box {
+    std::size_t x0 = 0, y0 = 0, z0 = 0;
+    std::size_t ex = 0, ey = 0, ez = 0;
+    [[nodiscard]] std::size_t points() const noexcept { return ex * ey * ez; }
+  };
+
+  [[nodiscard]] Box box(std::size_t chunk_id) const {
+    SICKLE_CHECK(chunk_id < count());
+    const std::size_t ccz = chunk_id % ncz_;
+    const std::size_t ccy = (chunk_id / ncz_) % ncy_;
+    const std::size_t ccx = chunk_id / (ncz_ * ncy_);
+    Box b;
+    b.x0 = ccx * chunk_.nx;
+    b.y0 = ccy * chunk_.ny;
+    b.z0 = ccz * chunk_.nz;
+    b.ex = std::min(chunk_.nx, grid_.nx - b.x0);
+    b.ey = std::min(chunk_.ny, grid_.ny - b.y0);
+    b.ez = std::min(chunk_.nz, grid_.nz - b.z0);
+    return b;
+  }
+
+  /// Chunk containing a global flat grid index.
+  [[nodiscard]] std::size_t chunk_of(std::size_t flat) const noexcept {
+    const std::size_t iz = flat % grid_.nz;
+    const std::size_t iy = (flat / grid_.nz) % grid_.ny;
+    const std::size_t ix = flat / (grid_.nz * grid_.ny);
+    return ((ix / chunk_.nx) * ncy_ + iy / chunk_.ny) * ncz_ + iz / chunk_.nz;
+  }
+
+  /// Position of a global flat grid index within its chunk's z-fastest
+  /// serialization.
+  [[nodiscard]] std::size_t local_offset(std::size_t flat) const noexcept {
+    const std::size_t iz = flat % grid_.nz;
+    const std::size_t iy = (flat / grid_.nz) % grid_.ny;
+    const std::size_t ix = flat / (grid_.nz * grid_.ny);
+    const std::size_t x0 = (ix / chunk_.nx) * chunk_.nx;
+    const std::size_t y0 = (iy / chunk_.ny) * chunk_.ny;
+    const std::size_t z0 = (iz / chunk_.nz) * chunk_.nz;
+    const std::size_t ey = std::min(chunk_.ny, grid_.ny - y0);
+    const std::size_t ez = std::min(chunk_.nz, grid_.nz - z0);
+    return ((ix - x0) * ey + (iy - y0)) * ez + (iz - z0);
+  }
+
+ private:
+  field::GridShape grid_;
+  field::GridShape chunk_;
+  std::size_t ncx_ = 1, ncy_ = 1, ncz_ = 1;
+};
+
+}  // namespace sickle::store

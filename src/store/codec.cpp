@@ -1,0 +1,218 @@
+#include "store/codec.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace sickle::store {
+
+namespace {
+
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::span<const std::uint8_t> block, std::size_t& pos) {
+  if (pos + sizeof(T) > block.size()) {
+    throw RuntimeError("truncated SKL2 chunk block");
+  }
+  T v{};
+  std::memcpy(&v, block.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+/// Bytes needed for the value's significant (non-leading-zero) part.
+unsigned significant_bytes(std::uint64_t v) noexcept {
+  return v == 0 ? 0u : (std::bit_width(v) + 7u) / 8u;
+}
+
+// Quant block layout: mode byte 0 = quantized, 1 = raw fallback.
+constexpr std::uint8_t kQuantMode = 0;
+constexpr std::uint8_t kRawFallbackMode = 1;
+// Level cap: packed widths stay <= 48 bits so the bit accumulator never
+// overflows and pathological (range / tolerance) ratios fall back to raw.
+constexpr double kMaxLevels = 281474976710655.0;  // 2^48 - 1
+
+}  // namespace
+
+std::vector<std::uint8_t> RawCodec::encode(
+    std::span<const double> values) const {
+  std::vector<std::uint8_t> out(values.size() * sizeof(double));
+  std::memcpy(out.data(), values.data(), out.size());
+  return out;
+}
+
+std::vector<double> RawCodec::decode(std::span<const std::uint8_t> block,
+                                     std::size_t count) const {
+  if (block.size() != count * sizeof(double)) {
+    throw RuntimeError("raw chunk block has wrong size");
+  }
+  std::vector<double> out(count);
+  std::memcpy(out.data(), block.data(), block.size());
+  return out;
+}
+
+std::vector<std::uint8_t> DeltaCodec::encode(
+    std::span<const double> values) const {
+  const std::size_t n = values.size();
+  const std::size_t nibble_bytes = (n + 1) / 2;
+  std::vector<std::uint8_t> out(nibble_bytes, 0);
+  out.reserve(nibble_bytes + n * sizeof(double));
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t u = std::bit_cast<std::uint64_t>(values[i]);
+    std::uint64_t d = u ^ prev;
+    prev = u;
+    const unsigned nb = significant_bytes(d);
+    out[i / 2] |= static_cast<std::uint8_t>(nb << ((i % 2) * 4));
+    for (unsigned b = 0; b < nb; ++b) {
+      out.push_back(static_cast<std::uint8_t>(d & 0xFF));
+      d >>= 8;
+    }
+  }
+  return out;
+}
+
+std::vector<double> DeltaCodec::decode(std::span<const std::uint8_t> block,
+                                       std::size_t count) const {
+  const std::size_t nibble_bytes = (count + 1) / 2;
+  if (block.size() < nibble_bytes) {
+    throw RuntimeError("truncated SKL2 chunk block");
+  }
+  std::vector<double> out(count);
+  std::size_t pos = nibble_bytes;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const unsigned nb = (block[i / 2] >> ((i % 2) * 4)) & 0xF;
+    if (nb > 8 || pos + nb > block.size()) {
+      throw RuntimeError("malformed delta chunk block");
+    }
+    std::uint64_t d = 0;
+    for (unsigned b = 0; b < nb; ++b) {
+      d |= static_cast<std::uint64_t>(block[pos++]) << (b * 8);
+    }
+    prev ^= d;
+    out[i] = std::bit_cast<double>(prev);
+  }
+  return out;
+}
+
+QuantCodec::QuantCodec(double tolerance) : tolerance_(tolerance) {
+  SICKLE_CHECK_MSG(tolerance > 0.0, "quant codec tolerance must be > 0");
+}
+
+std::vector<std::uint8_t> QuantCodec::encode(
+    std::span<const double> values) const {
+  if (values.empty()) return {};
+  double lo = values[0], hi = values[0];
+  bool finite = true;
+  for (const double x : values) {
+    finite = finite && std::isfinite(x);
+    lo = x < lo ? x : lo;
+    hi = x > hi ? x : hi;
+  }
+  const double step = 2.0 * tolerance_;
+  std::vector<std::uint8_t> out;
+  if (!finite || (hi - lo) / step > kMaxLevels) {
+    out.reserve(1 + values.size() * sizeof(double));
+    out.push_back(kRawFallbackMode);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
+    out.insert(out.end(), p, p + values.size() * sizeof(double));
+    return out;
+  }
+  const auto qmax = static_cast<std::uint64_t>(std::llround((hi - lo) / step));
+  const auto bits = static_cast<std::uint8_t>(std::bit_width(qmax));
+  out.reserve(1 + 2 * sizeof(double) + 1 +
+              (values.size() * bits + 7) / 8);
+  out.push_back(kQuantMode);
+  append_pod(out, lo);
+  append_pod(out, step);
+  out.push_back(bits);
+  // LSB-first bit packing; bits <= 48 keeps the accumulator within 64 bits.
+  std::uint64_t acc = 0;
+  unsigned acc_bits = 0;
+  for (const double x : values) {
+    const auto q = static_cast<std::uint64_t>(std::llround((x - lo) / step));
+    acc |= q << acc_bits;
+    acc_bits += bits;
+    while (acc_bits >= 8) {
+      out.push_back(static_cast<std::uint8_t>(acc & 0xFF));
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) out.push_back(static_cast<std::uint8_t>(acc & 0xFF));
+  return out;
+}
+
+std::vector<double> QuantCodec::decode(std::span<const std::uint8_t> block,
+                                       std::size_t count) const {
+  if (count == 0) return {};
+  std::size_t pos = 0;
+  const auto mode = read_pod<std::uint8_t>(block, pos);
+  if (mode == kRawFallbackMode) {
+    if (block.size() - pos != count * sizeof(double)) {
+      throw RuntimeError("quant raw-fallback block has wrong size");
+    }
+    std::vector<double> out(count);
+    std::memcpy(out.data(), block.data() + pos, count * sizeof(double));
+    return out;
+  }
+  if (mode != kQuantMode) throw RuntimeError("unknown quant chunk mode");
+  const auto lo = read_pod<double>(block, pos);
+  const auto step = read_pod<double>(block, pos);
+  const auto bits = read_pod<std::uint8_t>(block, pos);
+  if (bits > 48) throw RuntimeError("malformed quant chunk block");
+  std::vector<double> out(count);
+  if (bits == 0) {
+    for (double& x : out) x = lo;
+    return out;
+  }
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  std::uint64_t acc = 0;
+  unsigned acc_bits = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    while (acc_bits < bits) {
+      if (pos >= block.size()) {
+        throw RuntimeError("truncated SKL2 chunk block");
+      }
+      acc |= static_cast<std::uint64_t>(block[pos++]) << acc_bits;
+      acc_bits += 8;
+    }
+    const std::uint64_t q = acc & mask;
+    acc >>= bits;
+    acc_bits -= bits;
+    out[i] = lo + static_cast<double>(q) * step;
+  }
+  return out;
+}
+
+std::unique_ptr<Codec> make_codec(const std::string& name, double tolerance) {
+  if (name == "raw") return std::make_unique<RawCodec>();
+  if (name == "delta") return std::make_unique<DeltaCodec>();
+  if (name == "quant") return std::make_unique<QuantCodec>(tolerance);
+  throw RuntimeError("unknown store codec: " + name);
+}
+
+std::unique_ptr<Codec> make_codec(CodecId id, double tolerance) {
+  switch (id) {
+    case CodecId::kRaw:
+      return std::make_unique<RawCodec>();
+    case CodecId::kDelta:
+      return std::make_unique<DeltaCodec>();
+    case CodecId::kQuant:
+      return std::make_unique<QuantCodec>(tolerance);
+  }
+  throw RuntimeError("unknown store codec id: " +
+                     std::to_string(static_cast<int>(id)));
+}
+
+std::vector<std::string> codec_names() { return {"raw", "delta", "quant"}; }
+
+}  // namespace sickle::store

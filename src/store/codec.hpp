@@ -1,0 +1,120 @@
+/// @file codec.hpp
+/// @brief Pluggable per-chunk codecs for the SKL2 snapshot store.
+///
+/// Each chunk of a stored field is encoded independently by one codec, so
+/// chunks decompress in isolation (random access) and encode in parallel.
+/// Three built-ins cover the size-vs-fidelity spectrum the storage
+/// experiments sweep:
+///   - "raw":   memcpy of the doubles (baseline, lossless).
+///   - "delta": XOR-delta of consecutive IEEE-754 bit patterns with
+///              nibble-packed significant-byte counts (lossless; smooth
+///              fields share exponent/high-mantissa bits, so deltas are
+///              short).
+///   - "quant": uniform scalar quantization with a user-set absolute
+///              tolerance (lossy; max reconstruction error <= tolerance).
+/// Framing details are documented in docs/STORE.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sickle::store {
+
+/// On-disk codec identifiers (stored in the SKL2 header; stable).
+enum class CodecId : std::uint8_t {
+  kRaw = 0,
+  kDelta = 1,
+  kQuant = 2,
+};
+
+/// Encode/decode one chunk of doubles to/from a self-contained byte block.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual CodecId id() const noexcept = 0;
+  [[nodiscard]] virtual bool lossless() const noexcept = 0;
+
+  [[nodiscard]] virtual std::vector<std::uint8_t> encode(
+      std::span<const double> values) const = 0;
+
+  /// Decode exactly `count` values (the chunk's point count, known from the
+  /// store layout). Throws RuntimeError on malformed blocks.
+  [[nodiscard]] virtual std::vector<double> decode(
+      std::span<const std::uint8_t> block, std::size_t count) const = 0;
+};
+
+/// Lossless memcpy baseline.
+class RawCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "raw"; }
+  [[nodiscard]] CodecId id() const noexcept override { return CodecId::kRaw; }
+  [[nodiscard]] bool lossless() const noexcept override { return true; }
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::span<const double> values) const override;
+  [[nodiscard]] std::vector<double> decode(
+      std::span<const std::uint8_t> block,
+      std::size_t count) const override;
+};
+
+/// Lossless XOR-delta + byte-packing. Each value's bit pattern is XORed
+/// with its predecessor; the delta's significant byte count (0..8) is
+/// stored in a nibble array, followed by only those bytes.
+class DeltaCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "delta"; }
+  [[nodiscard]] CodecId id() const noexcept override {
+    return CodecId::kDelta;
+  }
+  [[nodiscard]] bool lossless() const noexcept override { return true; }
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::span<const double> values) const override;
+  [[nodiscard]] std::vector<double> decode(
+      std::span<const std::uint8_t> block,
+      std::size_t count) const override;
+};
+
+/// Lossy uniform quantization: q = round((x - min) / step) with
+/// step = 2 * tolerance, bit-packed at the minimum width covering the
+/// chunk's range. Guarantees |decoded - x| <= tolerance. Chunks whose
+/// range would need implausibly many levels (or contain non-finite
+/// values) fall back to an embedded raw block, preserving the tolerance
+/// contract trivially.
+class QuantCodec final : public Codec {
+ public:
+  /// `tolerance` must be positive.
+  explicit QuantCodec(double tolerance);
+
+  [[nodiscard]] std::string name() const override { return "quant"; }
+  [[nodiscard]] CodecId id() const noexcept override {
+    return CodecId::kQuant;
+  }
+  [[nodiscard]] bool lossless() const noexcept override { return false; }
+  [[nodiscard]] double tolerance() const noexcept { return tolerance_; }
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::span<const double> values) const override;
+  [[nodiscard]] std::vector<double> decode(
+      std::span<const std::uint8_t> block,
+      std::size_t count) const override;
+
+ private:
+  double tolerance_;
+};
+
+/// Factory by config name ("raw" | "delta" | "quant"); throws RuntimeError
+/// for unknown names. `tolerance` only affects "quant".
+[[nodiscard]] std::unique_ptr<Codec> make_codec(const std::string& name,
+                                                double tolerance = 1e-6);
+
+/// Factory by on-disk id (used by the reader); throws for unknown ids.
+[[nodiscard]] std::unique_ptr<Codec> make_codec(CodecId id, double tolerance);
+
+/// All built-in codec names, in CodecId order.
+[[nodiscard]] std::vector<std::string> codec_names();
+
+}  // namespace sickle::store

@@ -1,0 +1,254 @@
+#include "store/snapshot_store.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace sickle::store {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'K', 'L', '2'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& f) {
+  T v{};
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!f) throw RuntimeError("truncated SKL2 file");
+  return v;
+}
+
+/// Copy one chunk's values out of a field, z-fastest within the box.
+std::vector<double> extract_chunk(std::span<const double> data,
+                                  const field::GridShape& grid,
+                                  const ChunkLayout::Box& b) {
+  std::vector<double> vals(b.points());
+  std::size_t k = 0;
+  for (std::size_t ix = b.x0; ix < b.x0 + b.ex; ++ix) {
+    for (std::size_t iy = b.y0; iy < b.y0 + b.ey; ++iy) {
+      const double* row = data.data() + grid.index(ix, iy, b.z0);
+      for (std::size_t iz = 0; iz < b.ez; ++iz) vals[k++] = row[iz];
+    }
+  }
+  return vals;
+}
+
+}  // namespace
+
+StoreWriteReport write_store(const field::Snapshot& snap,
+                             const std::string& path,
+                             const StoreOptions& opts) {
+  const ChunkLayout layout(snap.shape(), opts.chunk);
+  const auto codec = make_codec(opts.codec, opts.tolerance);
+  const auto names = snap.names();
+  const std::size_t nchunks = layout.count();
+  const std::size_t total = names.size() * nchunks;
+
+  // Open the output before encoding: an unwritable path must fail in
+  // milliseconds, not after compressing a multi-GB snapshot.
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw RuntimeError("cannot open for write: " + path);
+
+  // Encode every (field, chunk) block in parallel; blocks land in their
+  // final order, so the serial write below is a straight concatenation.
+  StoreWriteReport report;
+  report.chunks = total;
+  report.raw_bytes = snap.bytes();
+  std::vector<std::vector<std::uint8_t>> blocks(total);
+  Timer encode_timer;
+  parallel_for(
+      total,
+      [&](std::size_t i) {
+        const auto& data = snap.get(names[i / nchunks]).data();
+        const auto vals =
+            extract_chunk(data, snap.shape(), layout.box(i % nchunks));
+        blocks[i] = codec->encode(std::span<const double>(vals));
+      },
+      opts.pool, /*grain=*/1);
+  report.encode_seconds = encode_timer.seconds();
+
+  f.write(kMagic, 4);
+  write_pod<std::uint32_t>(f, kVersion);
+  write_pod<std::uint64_t>(f, snap.shape().nx);
+  write_pod<std::uint64_t>(f, snap.shape().ny);
+  write_pod<std::uint64_t>(f, snap.shape().nz);
+  write_pod<double>(f, snap.time());
+  write_pod<std::uint64_t>(f, layout.chunk_shape().nx);
+  write_pod<std::uint64_t>(f, layout.chunk_shape().ny);
+  write_pod<std::uint64_t>(f, layout.chunk_shape().nz);
+  write_pod<std::uint8_t>(f, static_cast<std::uint8_t>(codec->id()));
+  write_pod<double>(f, opts.tolerance);
+  write_pod<std::uint64_t>(f, names.size());
+  for (const auto& name : names) {
+    write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(name.size()));
+    f.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  write_pod<std::uint64_t>(f, nchunks);
+  // Payload starts right after the chunk index; deriving the offset from
+  // the stream position keeps it correct if the header ever grows.
+  std::uint64_t offset = static_cast<std::uint64_t>(f.tellp()) +
+                         total * 2 * sizeof(std::uint64_t);
+  for (const auto& b : blocks) {
+    write_pod<std::uint64_t>(f, offset);
+    write_pod<std::uint64_t>(f, b.size());
+    offset += b.size();
+    report.payload_bytes += b.size();
+  }
+  for (const auto& b : blocks) {
+    f.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+  }
+  f.flush();
+  if (!f) throw RuntimeError("error writing: " + path);
+  report.file_bytes = static_cast<std::size_t>(
+      std::filesystem::file_size(path));
+  return report;
+}
+
+ChunkReader::ChunkReader(const std::string& path, std::size_t cache_bytes)
+    : path_(path), file_(path, std::ios::binary),
+      cache_capacity_(cache_bytes) {
+  if (!file_) throw RuntimeError("cannot open for read: " + path);
+  char magic[4];
+  file_.read(magic, 4);
+  if (!file_ || std::memcmp(magic, kMagic, 4) != 0) {
+    throw RuntimeError("not an SKL2 store file: " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(file_);
+  if (version != kVersion) {
+    throw RuntimeError("unsupported SKL2 version in " + path);
+  }
+  field::GridShape grid;
+  grid.nx = read_pod<std::uint64_t>(file_);
+  grid.ny = read_pod<std::uint64_t>(file_);
+  grid.nz = read_pod<std::uint64_t>(file_);
+  time_ = read_pod<double>(file_);
+  field::GridShape chunk;
+  chunk.nx = read_pod<std::uint64_t>(file_);
+  chunk.ny = read_pod<std::uint64_t>(file_);
+  chunk.nz = read_pod<std::uint64_t>(file_);
+  layout_ = ChunkLayout(grid, chunk);
+  const auto codec_id = read_pod<std::uint8_t>(file_);
+  const auto tolerance = read_pod<double>(file_);
+  codec_ = make_codec(static_cast<CodecId>(codec_id), tolerance);
+  codec_name_ = codec_->name();
+  const auto nfields = read_pod<std::uint64_t>(file_);
+  SICKLE_CHECK_MSG(nfields < 1024, "implausible field count in SKL2");
+  names_.reserve(nfields);
+  for (std::uint64_t i = 0; i < nfields; ++i) {
+    const auto len = read_pod<std::uint32_t>(file_);
+    SICKLE_CHECK_MSG(len < (1u << 20), "implausible name length in SKL2");
+    std::string name(len, '\0');
+    file_.read(name.data(), len);
+    if (!file_) throw RuntimeError("truncated SKL2 file");
+    field_index_[name] = i;
+    names_.push_back(std::move(name));
+  }
+  const auto nchunks = read_pod<std::uint64_t>(file_);
+  SICKLE_CHECK_MSG(nchunks == layout_.count(),
+                   "SKL2 chunk count does not match its grid/chunk shape");
+  index_.resize(nfields * nchunks);
+  const auto file_size =
+      static_cast<std::uint64_t>(std::filesystem::file_size(path));
+  for (auto& ref : index_) {
+    ref.offset = read_pod<std::uint64_t>(file_);
+    ref.bytes = read_pod<std::uint64_t>(file_);
+    // Reject corrupt index entries here rather than letting chunk() make
+    // an unchecked (possibly huge) allocation later.
+    if (ref.offset > file_size || ref.bytes > file_size - ref.offset) {
+      throw RuntimeError("SKL2 chunk index points outside the file: " +
+                         path);
+    }
+  }
+}
+
+std::shared_ptr<const std::vector<double>> ChunkReader::chunk(
+    std::size_t field_index, std::size_t chunk_id) const {
+  SICKLE_CHECK(field_index < names_.size() && chunk_id < layout_.count());
+  const std::uint64_t key = field_index * layout_.count() + chunk_id;
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.values;
+  }
+  ++stats_.misses;
+  const BlockRef& ref = index_[key];
+  std::vector<std::uint8_t> block(ref.bytes);
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(ref.offset));
+  file_.read(reinterpret_cast<char*>(block.data()),
+             static_cast<std::streamsize>(block.size()));
+  if (!file_) throw RuntimeError("truncated SKL2 file: " + path_);
+  auto values = std::make_shared<const std::vector<double>>(codec_->decode(
+      std::span<const std::uint8_t>(block), layout_.box(chunk_id).points()));
+
+  lru_.push_front(key);
+  cache_[key] = CacheEntry{values, lru_.begin()};
+  stats_.resident_bytes += values->size() * sizeof(double);
+  while (stats_.resident_bytes > cache_capacity_ && cache_.size() > 1) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    const auto vit = cache_.find(victim);
+    stats_.resident_bytes -= vit->second.values->size() * sizeof(double);
+    cache_.erase(vit);
+    ++stats_.evictions;
+  }
+  return values;
+}
+
+void ChunkReader::gather(const std::string& var,
+                         std::span<const std::size_t> idx,
+                         std::span<double> out) const {
+  SICKLE_CHECK(out.size() == idx.size());
+  const auto it = field_index_.find(var);
+  SICKLE_CHECK_MSG(it != field_index_.end(), "unknown field: " + var);
+  const std::size_t f = it->second;
+  // Gather requests are runs of indices within one chunk (cube point sets,
+  // full-field scans); memoizing the last chunk skips the cache lookup and
+  // LRU bookkeeping on the hot path.
+  std::size_t last_chunk = layout_.count();
+  std::shared_ptr<const std::vector<double>> values;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const std::size_t c = layout_.chunk_of(idx[i]);
+    if (c != last_chunk) {
+      values = chunk(f, c);
+      last_chunk = c;
+    }
+    out[i] = (*values)[layout_.local_offset(idx[i])];
+  }
+}
+
+std::vector<double> ChunkReader::load_field(const std::string& var) const {
+  const auto it = field_index_.find(var);
+  SICKLE_CHECK_MSG(it != field_index_.end(), "unknown field: " + var);
+  const auto& grid = layout_.grid();
+  std::vector<double> out(grid.size());
+  for (std::size_t c = 0; c < layout_.count(); ++c) {
+    const auto b = layout_.box(c);
+    const auto values = chunk(it->second, c);
+    std::size_t k = 0;
+    for (std::size_t ix = b.x0; ix < b.x0 + b.ex; ++ix) {
+      for (std::size_t iy = b.y0; iy < b.y0 + b.ey; ++iy) {
+        double* row = out.data() + grid.index(ix, iy, b.z0);
+        for (std::size_t iz = 0; iz < b.ez; ++iz) row[iz] = (*values)[k++];
+      }
+    }
+  }
+  return out;
+}
+
+field::Snapshot ChunkReader::load_snapshot() const {
+  field::Snapshot snap(layout_.grid(), time_);
+  for (const auto& name : names_) snap.add(name, load_field(name));
+  return snap;
+}
+
+}  // namespace sickle::store

@@ -1,0 +1,145 @@
+/// @file snapshot_store.hpp
+/// @brief SKL2 chunked compressed snapshot container: parallel writer and
+/// LRU-cached streaming reader.
+///
+/// The flat `.skl` (SKL1) format loads a whole snapshot into RAM; SKL2
+/// splits every field into fixed-size 3D chunks, encodes each chunk
+/// independently with a pluggable codec (see codec.hpp), and keeps a chunk
+/// index so readers fetch only the blocks a query touches. ChunkReader
+/// implements field::FieldSource, so the sampling pipeline streams samples
+/// out-of-core via sampling::run_pipeline_streaming with memory bounded by
+/// the reader's block cache, never the grid. Layout spec: docs/STORE.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "field/field.hpp"
+#include "field/field_source.hpp"
+#include "parallel/thread_pool.hpp"
+#include "store/chunk_layout.hpp"
+#include "store/codec.hpp"
+
+namespace sickle::store {
+
+/// Writer-side knobs; also carried by sickle::CaseConfig for the config
+/// driven "skl2" backend.
+struct StoreOptions {
+  field::GridShape chunk{32, 32, 32};  ///< nominal chunk edge lengths
+  std::string codec = "delta";         ///< "raw" | "delta" | "quant"
+  double tolerance = 1e-6;             ///< quant max abs error
+  std::size_t cache_bytes = 64ull << 20;  ///< reader block-cache capacity
+  ThreadPool* pool = nullptr;          ///< encode pool; nullptr = global()
+};
+
+/// What write_store did, for benches and storage accounting.
+struct StoreWriteReport {
+  std::size_t file_bytes = 0;     ///< total container size on disk
+  std::size_t payload_bytes = 0;  ///< encoded chunk payload only
+  std::size_t raw_bytes = 0;      ///< nfields * grid points * sizeof(double)
+  std::size_t chunks = 0;         ///< blocks written (nfields * layout count)
+  double encode_seconds = 0.0;    ///< wall time in chunk extraction + encode
+
+  [[nodiscard]] double compression_ratio() const noexcept {
+    return file_bytes == 0 ? 0.0
+                           : static_cast<double>(raw_bytes) /
+                                 static_cast<double>(file_bytes);
+  }
+};
+
+/// Write `snap` as an SKL2 container. Chunks are encoded in parallel on
+/// `opts.pool` (ThreadPool::global() by default). Throws RuntimeError on
+/// I/O failure.
+StoreWriteReport write_store(const field::Snapshot& snap,
+                             const std::string& path,
+                             const StoreOptions& opts = {});
+
+/// Streaming reader over an SKL2 container.
+///
+/// Chunks decode on demand and live in a byte-bounded LRU cache, so any
+/// access pattern — full-field scans, per-cube gathers, random point
+/// lookups — runs in O(cache) memory. Implements field::FieldSource, which
+/// is all the sampling pipeline needs. Not thread-safe: one reader per
+/// thread (the file handle and cache are shared mutable state).
+class ChunkReader final : public field::FieldSource {
+ public:
+  explicit ChunkReader(const std::string& path,
+                       std::size_t cache_bytes = 64ull << 20);
+
+  // FieldSource interface.
+  [[nodiscard]] const field::GridShape& shape() const noexcept override {
+    return layout_.grid();
+  }
+  [[nodiscard]] std::vector<std::string> variables() const override {
+    return names_;
+  }
+  [[nodiscard]] bool has(const std::string& var) const override {
+    return field_index_.count(var) > 0;
+  }
+  void gather(const std::string& var, std::span<const std::size_t> idx,
+              std::span<double> out) const override;
+  using field::FieldSource::gather;
+
+  [[nodiscard]] double time() const noexcept { return time_; }
+  [[nodiscard]] const ChunkLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] const std::string& codec_name() const noexcept {
+    return codec_name_;
+  }
+  [[nodiscard]] std::size_t num_fields() const noexcept {
+    return names_.size();
+  }
+
+  /// Decoded values of one chunk of one field, in the chunk's z-fastest
+  /// order. The pointer stays valid after eviction (shared ownership).
+  [[nodiscard]] std::shared_ptr<const std::vector<double>> chunk(
+      std::size_t field_index, std::size_t chunk_id) const;
+
+  /// Materialize one full field (streams every chunk once).
+  [[nodiscard]] std::vector<double> load_field(const std::string& var) const;
+
+  /// Materialize the whole snapshot — for tests and small grids; defeats
+  /// the purpose on larger-than-RAM stores.
+  [[nodiscard]] field::Snapshot load_snapshot() const;
+
+  struct CacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t resident_bytes = 0;
+  };
+  [[nodiscard]] CacheStats cache_stats() const noexcept { return stats_; }
+
+ private:
+  struct BlockRef {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct CacheEntry {
+    std::shared_ptr<const std::vector<double>> values;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  std::string path_;
+  mutable std::ifstream file_;
+  ChunkLayout layout_{{1, 1, 1}, {1, 1, 1}};
+  double time_ = 0.0;
+  std::vector<std::string> names_;
+  std::map<std::string, std::size_t> field_index_;
+  std::unique_ptr<Codec> codec_;
+  std::string codec_name_;
+  std::vector<BlockRef> index_;  ///< [field * layout.count() + chunk]
+
+  std::size_t cache_capacity_;
+  mutable std::list<std::uint64_t> lru_;  ///< front = most recently used
+  mutable std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  mutable CacheStats stats_;
+};
+
+}  // namespace sickle::store

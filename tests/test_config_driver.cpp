@@ -83,6 +83,49 @@ TEST(ConfigDriver, ArchNormalization) {
   EXPECT_THROW(normalize_arch("gpt4"), RuntimeError);
 }
 
+TEST(ConfigDriver, StoreMapping) {
+  const auto cfg = Config::parse(R"(
+shared:
+  dataset: SST-P1F4
+store:
+  backend: skl2
+  codec: quant
+  tolerance: 1e-3
+  chunk: 16
+  chunk_z: 8
+  cache_mb: 8
+)");
+  const auto cc = case_from_config(cfg);
+  EXPECT_EQ(cc.backend, "skl2");
+  EXPECT_EQ(cc.store.codec, "quant");
+  EXPECT_DOUBLE_EQ(cc.store.tolerance, 1e-3);
+  EXPECT_EQ(cc.store.chunk.nx, 16u);
+  EXPECT_EQ(cc.store.chunk.ny, 16u);
+  EXPECT_EQ(cc.store.chunk.nz, 8u);
+  EXPECT_EQ(cc.store.cache_bytes, 8u << 20);
+}
+
+TEST(ConfigDriver, StoreDefaultsAndErrors) {
+  const auto defaults =
+      case_from_config(Config::parse("shared:\n  dataset: OF2D\n"));
+  EXPECT_EQ(defaults.backend, "memory");
+  EXPECT_EQ(defaults.store.codec, "delta");
+  EXPECT_EQ(defaults.store.chunk.nx, 32u);
+
+  EXPECT_THROW(case_from_config(Config::parse(
+                   "store:\n  backend: s3\n")),
+               RuntimeError);
+  EXPECT_THROW(case_from_config(Config::parse(
+                   "store:\n  codec: zstd\n")),
+               RuntimeError);
+  EXPECT_THROW(case_from_config(Config::parse(
+                   "store:\n  chunk: 0\n")),
+               RuntimeError);
+  EXPECT_THROW(case_from_config(Config::parse(
+                   "store:\n  cache_mb: -1\n")),
+               RuntimeError);
+}
+
 TEST(ConfigDriver, BadPrecisionThrows) {
   const auto cfg = Config::parse(
       "shared:\n  dataset: OF2D\ntrain:\n  precision: int3\n");

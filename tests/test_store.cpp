@@ -1,0 +1,408 @@
+// Unit tests: SKL2 chunked compressed snapshot store — codecs, chunk
+// layout, writer/reader round trips, LRU cache behavior, and
+// streaming-vs-in-memory sampling equivalence.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sampling/pipeline.hpp"
+#include "sickle/case.hpp"
+#include "store/chunk_layout.hpp"
+#include "store/codec.hpp"
+#include "store/snapshot_store.hpp"
+
+namespace sickle::store {
+namespace {
+
+std::vector<double> smooth_values(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(0.01 * static_cast<double>(i)) + 2.0;
+  }
+  return v;
+}
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.normal();
+  return v;
+}
+
+TEST(Codec, RawRoundTripIsExact) {
+  const auto codec = make_codec("raw");
+  const auto values = random_values(257, 1);
+  const auto block = codec->encode(values);
+  EXPECT_EQ(block.size(), values.size() * sizeof(double));
+  EXPECT_EQ(codec->decode(block, values.size()), values);
+}
+
+TEST(Codec, DeltaRoundTripIsExact) {
+  const auto codec = make_codec("delta");
+  for (const auto& values :
+       {smooth_values(511), random_values(511, 2), std::vector<double>{},
+        std::vector<double>(64, 3.25)}) {
+    const auto block = codec->encode(values);
+    EXPECT_EQ(codec->decode(block, values.size()), values);
+  }
+}
+
+TEST(Codec, DeltaCompressesSmoothAndConstantData) {
+  const auto codec = make_codec("delta");
+  const auto smooth = smooth_values(4096);
+  EXPECT_LT(codec->encode(smooth).size(), smooth.size() * sizeof(double));
+  // A constant run costs one nibble per value after the first delta.
+  const std::vector<double> constant(4096, 1.5);
+  EXPECT_LT(codec->encode(constant).size(), constant.size());
+}
+
+TEST(Codec, QuantHonorsTolerance) {
+  for (const double tol : {1e-1, 1e-3, 1e-6}) {
+    const auto codec = make_codec("quant", tol);
+    const auto values = random_values(1000, 3);
+    const auto decoded =
+        codec->decode(codec->encode(values), values.size());
+    double err = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      err = std::max(err, std::abs(values[i] - decoded[i]));
+    }
+    EXPECT_LE(err, tol);
+  }
+}
+
+TEST(Codec, QuantSizeShrinksWithLooserTolerance) {
+  const auto values = random_values(4096, 4);
+  const auto tight = make_codec("quant", 1e-9)->encode(values);
+  const auto loose = make_codec("quant", 1e-2)->encode(values);
+  EXPECT_LT(loose.size(), tight.size());
+  EXPECT_LT(loose.size(), values.size() * sizeof(double) / 2);
+}
+
+TEST(Codec, QuantConstantChunkIsTiny) {
+  const auto codec = make_codec("quant", 1e-6);
+  const std::vector<double> constant(512, 42.0);
+  const auto block = codec->encode(constant);
+  EXPECT_LT(block.size(), 32u);  // header only, zero-bit payload
+  EXPECT_EQ(codec->decode(block, constant.size()), constant);
+}
+
+TEST(Codec, QuantFallsBackToRawOnExtremeRange) {
+  // range/step overflows the 48-bit level cap -> embedded raw block,
+  // which is exact, trivially within tolerance.
+  const auto codec = make_codec("quant", 1e-15);
+  std::vector<double> values = {0.0, 1e6, -1e6, 3.141592653589793};
+  const auto decoded = codec->decode(codec->encode(values), values.size());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(Codec, UnknownNameThrows) {
+  EXPECT_THROW(make_codec("zstd"), RuntimeError);
+  EXPECT_THROW(QuantCodec(0.0), CheckError);
+}
+
+TEST(ChunkLayout, PartialEdgeChunksCoverTheGrid) {
+  const ChunkLayout layout({10, 6, 5}, {4, 4, 4});
+  EXPECT_EQ(layout.chunks_x(), 3u);
+  EXPECT_EQ(layout.chunks_y(), 2u);
+  EXPECT_EQ(layout.chunks_z(), 2u);
+  std::size_t covered = 0;
+  for (std::size_t c = 0; c < layout.count(); ++c) {
+    covered += layout.box(c).points();
+  }
+  EXPECT_EQ(covered, layout.grid().size());
+}
+
+TEST(ChunkLayout, PointMappingIsABijection) {
+  const ChunkLayout layout({10, 6, 5}, {4, 4, 4});
+  // (chunk_of, local_offset) must hit every slot of every chunk once.
+  std::vector<std::vector<bool>> seen(layout.count());
+  for (std::size_t c = 0; c < layout.count(); ++c) {
+    seen[c].assign(layout.box(c).points(), false);
+  }
+  for (std::size_t flat = 0; flat < layout.grid().size(); ++flat) {
+    const std::size_t c = layout.chunk_of(flat);
+    const std::size_t off = layout.local_offset(flat);
+    ASSERT_LT(c, layout.count());
+    ASSERT_LT(off, seen[c].size());
+    EXPECT_FALSE(seen[c][off]);
+    seen[c][off] = true;
+  }
+}
+
+TEST(ChunkLayout, OversizedChunkClampsToOneChunk) {
+  const ChunkLayout layout({8, 8, 1}, {32, 32, 32});
+  EXPECT_EQ(layout.count(), 1u);
+  EXPECT_EQ(layout.box(0).points(), 64u);
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sickle_store_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Snapshot whose grid is deliberately not divisible by the chunk shape.
+  [[nodiscard]] static field::Snapshot make_snapshot() {
+    field::Snapshot snap({10, 6, 5}, 1.25);
+    Rng rng(7);
+    for (const char* name : {"u", "v", "c"}) {
+      auto& f = snap.add(name);
+      std::size_t i = 0;
+      for (auto& x : f.data()) {
+        x = std::sin(0.05 * static_cast<double>(i++)) + 0.1 * rng.normal();
+      }
+    }
+    return snap;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StoreTest, LosslessRoundTripWithPartialChunks) {
+  const auto snap = make_snapshot();
+  for (const char* codec : {"raw", "delta"}) {
+    StoreOptions opts;
+    opts.chunk = {4, 4, 4};
+    opts.codec = codec;
+    const auto report = write_store(snap, path("s.skl2"), opts);
+    EXPECT_EQ(report.chunks, 3u * 12u);
+    EXPECT_EQ(report.raw_bytes, snap.bytes());
+    EXPECT_EQ(report.file_bytes,
+              std::filesystem::file_size(path("s.skl2")));
+
+    const ChunkReader reader(path("s.skl2"));
+    EXPECT_EQ(reader.shape(), snap.shape());
+    EXPECT_DOUBLE_EQ(reader.time(), 1.25);
+    EXPECT_EQ(reader.variables(), snap.names());
+    EXPECT_EQ(reader.codec_name(), codec);
+    const auto loaded = reader.load_snapshot();
+    for (const auto& name : snap.names()) {
+      const auto a = snap.get(name).data();
+      const auto b = loaded.get(name).data();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_DOUBLE_EQ(a[i], b[i]) << name << "[" << i << "]";
+      }
+    }
+  }
+}
+
+TEST_F(StoreTest, QuantRoundTripWithinTolerance) {
+  const auto snap = make_snapshot();
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  opts.codec = "quant";
+  opts.tolerance = 1e-4;
+  const auto report = write_store(snap, path("q.skl2"), opts);
+  EXPECT_LT(report.file_bytes, report.raw_bytes);
+
+  const auto loaded = ChunkReader(path("q.skl2")).load_snapshot();
+  for (const auto& name : snap.names()) {
+    const auto a = snap.get(name).data();
+    const auto b = loaded.get(name).data();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_NEAR(a[i], b[i], 1e-4);
+    }
+  }
+}
+
+TEST_F(StoreTest, GatherMatchesSnapshotValues) {
+  const auto snap = make_snapshot();
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  write_store(snap, path("g.skl2"), opts);
+  const ChunkReader reader(path("g.skl2"));
+
+  Rng rng(11);
+  std::vector<std::size_t> idx(200);
+  for (auto& i : idx) i = rng.uniform_int(snap.shape().size());
+  const auto got = reader.gather("v", std::span<const std::size_t>(idx));
+  const auto data = snap.get("v").data();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], data[idx[i]]);
+  }
+  EXPECT_THROW(reader.gather("nope", std::span<const std::size_t>(idx)),
+               CheckError);
+}
+
+TEST_F(StoreTest, CacheHitsEvictionsAndSharedOwnership) {
+  const auto snap = make_snapshot();
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  write_store(snap, path("c.skl2"), opts);
+  // Capacity of one 4^3 chunk: every switch to a new chunk evicts.
+  const ChunkReader reader(path("c.skl2"), /*cache_bytes=*/64 * 8);
+
+  const auto first = reader.chunk(0, 0);
+  auto stats = reader.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  (void)reader.chunk(0, 0);
+  stats = reader.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+
+  (void)reader.chunk(0, 1);  // exceeds capacity -> evicts chunk 0
+  stats = reader.cache_stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.resident_bytes, 64u * 8u);
+  // Evicted blocks stay alive for existing holders.
+  EXPECT_EQ(first->size(), 64u);
+
+  (void)reader.chunk(0, 0);  // cold again after eviction
+  stats = reader.cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+}
+
+TEST_F(StoreTest, LruKeepsHotChunksResident) {
+  const auto snap = make_snapshot();
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  write_store(snap, path("l.skl2"), opts);
+  // Room for two full chunks.
+  const ChunkReader reader(path("l.skl2"), /*cache_bytes=*/2 * 64 * 8);
+  (void)reader.chunk(0, 0);
+  (void)reader.chunk(0, 1);
+  (void)reader.chunk(0, 0);  // refresh 0 -> 1 is now LRU
+  (void)reader.chunk(0, 2);  // evicts 1, not 0
+  (void)reader.chunk(0, 0);
+  EXPECT_EQ(reader.cache_stats().hits, 2u);
+}
+
+TEST_F(StoreTest, ErrorPaths) {
+  EXPECT_THROW(ChunkReader(path("missing.skl2")), RuntimeError);
+  {
+    std::ofstream f(path("bad.skl2"), std::ios::binary);
+    f << "NOTSKL2DATA";
+  }
+  EXPECT_THROW(ChunkReader(path("bad.skl2")), RuntimeError);
+
+  const auto snap = make_snapshot();
+  write_store(snap, path("trunc.skl2"), {});
+  std::filesystem::resize_file(path("trunc.skl2"), 64);
+  EXPECT_THROW(ChunkReader(path("trunc.skl2")), RuntimeError);
+  EXPECT_THROW(write_store(snap, path("no/such/dir/x.skl2"), {}),
+               RuntimeError);
+}
+
+/// The acceptance-criterion test: hypercube selection + point sampling
+/// driven through a ChunkReader must reproduce the in-memory pipeline.
+TEST_F(StoreTest, StreamingPipelineMatchesInMemoryExactly) {
+  field::Snapshot snap({16, 16, 16}, 0.0);
+  Rng rng(3);
+  for (const char* name : {"u", "v", "c"}) {
+    auto& f = snap.add(name);
+    std::size_t i = 0;
+    for (auto& x : f.data()) {
+      x = std::cos(0.02 * static_cast<double>(i++)) + 0.3 * rng.normal();
+    }
+  }
+  sampling::PipelineConfig cfg;
+  cfg.cube = {4, 4, 4};
+  cfg.hypercube_method = "maxent";
+  cfg.point_method = "maxent";
+  cfg.num_hypercubes = 8;
+  cfg.num_samples = 12;
+  cfg.num_clusters = 4;
+  cfg.input_vars = {"u", "v"};
+  cfg.output_vars = {"u"};
+  cfg.cluster_var = "c";
+  const auto in_memory = run_pipeline(snap, cfg);
+
+  StoreOptions opts;
+  opts.chunk = {8, 8, 8};
+  opts.codec = "delta";
+  write_store(snap, path("stream.skl2"), opts);
+  // A deliberately tiny cache forces continual decode during streaming.
+  const ChunkReader reader(path("stream.skl2"), /*cache_bytes=*/16 << 10);
+  const auto streamed = sampling::run_pipeline_streaming(reader, cfg);
+
+  ASSERT_EQ(streamed.cubes.size(), in_memory.cubes.size());
+  for (std::size_t i = 0; i < streamed.cubes.size(); ++i) {
+    EXPECT_EQ(streamed.cubes[i].cube_id, in_memory.cubes[i].cube_id);
+  }
+  const auto a = in_memory.merged();
+  const auto b = streamed.merged();
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_GT(reader.cache_stats().evictions, 0u);
+}
+
+/// Lossy stores keep the selection (data-independent methods) and bound
+/// the feature error by the codec tolerance.
+TEST_F(StoreTest, StreamingOverQuantStoreStaysWithinTolerance) {
+  field::Snapshot snap({16, 16, 16}, 0.0);
+  Rng rng(5);
+  for (const char* name : {"u", "c"}) {
+    auto& f = snap.add(name);
+    for (auto& x : f.data()) x = rng.normal();
+  }
+  sampling::PipelineConfig cfg;
+  cfg.cube = {4, 4, 4};
+  cfg.hypercube_method = "random";
+  cfg.point_method = "random";
+  cfg.num_hypercubes = 6;
+  cfg.num_samples = 9;
+  cfg.input_vars = {"u"};
+  cfg.cluster_var = "c";
+  const auto in_memory = run_pipeline(snap, cfg).merged();
+
+  StoreOptions opts;
+  opts.codec = "quant";
+  opts.tolerance = 1e-3;
+  write_store(snap, path("quant.skl2"), opts);
+  const auto streamed =
+      sampling::run_pipeline_streaming(ChunkReader(path("quant.skl2")), cfg)
+          .merged();
+  ASSERT_EQ(streamed.indices, in_memory.indices);
+  ASSERT_EQ(streamed.features.size(), in_memory.features.size());
+  for (std::size_t i = 0; i < streamed.features.size(); ++i) {
+    EXPECT_NEAR(streamed.features[i], in_memory.features[i], 1e-3);
+  }
+}
+
+/// The case runner's skl2 backend (spill + stream per snapshot) must
+/// sample exactly what the in-memory backend does.
+TEST_F(StoreTest, CaseRunnerSkl2BackendMatchesMemoryBackend) {
+  const DatasetBundle bundle = make_dataset("SST-P1F4", 3, 0.5);
+  CaseConfig cc;
+  cc.pipeline.cube = {8, 8, 8};
+  cc.pipeline.hypercube_method = "random";
+  cc.pipeline.point_method = "maxent";
+  cc.pipeline.num_hypercubes = 3;
+  cc.pipeline.num_samples = 51;
+  cc.pipeline.num_clusters = 5;
+  cc.pipeline.seed = 3;
+  cc.arch = "MLP_Transformer";
+  cc.model_dim = 16;
+  cc.model_heads = 2;
+  cc.train.epochs = 2;
+  cc.train.batch = 4;
+
+  const auto memory_report = run_case(bundle, cc);
+  cc.backend = "skl2";
+  cc.store.chunk = {16, 16, 16};
+  cc.store.codec = "delta";
+  const auto store_report = run_case(bundle, cc);
+
+  EXPECT_EQ(store_report.sampled_points, memory_report.sampled_points);
+  EXPECT_GT(store_report.store_bytes, 0u);
+  EXPECT_TRUE(std::isfinite(store_report.train.test_loss));
+
+  cc.backend = "s3";
+  EXPECT_THROW(run_case(bundle, cc), CheckError);
+}
+
+}  // namespace
+}  // namespace sickle::store

@@ -3,4 +3,4 @@
 # Run from anywhere; operates on the repo root (parent of this script).
 set -eu
 cd "$(dirname "$0")/.."
-cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j"$(nproc)"
