@@ -7,7 +7,13 @@
 // quasi-linearly before its knee; the smaller SST-P1F4 knees early
 // (paper: max speedup ~9 at 32 ranks) as cubes-per-rank hits 1 and the
 // serial clustering + communication terms dominate.
+//
+// Besides the console table, a run writes BENCH_fig7_scalability.json
+// (per rank count: sim time, speedup, efficiency, comm seconds) for the
+// perf trajectory in bench/baselines/ (docs/PERF.md). An optional argv[1]
+// overrides the 512-rank ceiling for quick local runs.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
 #include "parallel/world.hpp"
@@ -19,7 +25,8 @@ using namespace sickle;
 namespace {
 
 void scaling_study(const std::string& label, const DatasetBundle& bundle,
-                   std::size_t num_hypercubes, std::size_t max_ranks) {
+                   std::size_t num_hypercubes, std::size_t max_ranks,
+                   bench::JsonReport& report) {
   sampling::PipelineConfig cfg;
   cfg.cube = {8, 8, 8};
   cfg.hypercube_method = "maxent";
@@ -49,12 +56,12 @@ void scaling_study(const std::string& label, const DatasetBundle& bundle,
     double comm_s = 0.0;
     for (int rep = 0; rep < 2; ++rep) {
       World world(n);
-      const auto report = world.run([&](Comm& comm) {
+      const auto report_run = world.run([&](Comm& comm) {
         (void)run_pipeline(snap, cfg, comm);
       });
-      if (report.simulated_seconds() < t) {
-        t = report.simulated_seconds();
-        comm_s = report.modeled_comm_seconds;
+      if (report_run.simulated_seconds() < t) {
+        t = report_run.simulated_seconds();
+        comm_s = report_run.modeled_comm_seconds;
       }
     }
     if (n == 1) t1 = t;
@@ -62,6 +69,13 @@ void scaling_study(const std::string& label, const DatasetBundle& bundle,
     const double efficiency = speedup / static_cast<double>(n);
     std::printf("%-22zu%-22.4f%-22.2f%-22.2f%-22.6f\n", n, t, speedup,
                 efficiency, comm_s);
+    report.add(label + "/ranks:" + std::to_string(n),
+               {{"ranks", static_cast<double>(n)},
+                {"sim_time_s", t},
+                {"speedup", speedup},
+                {"efficiency", efficiency},
+                {"comm_s", comm_s}},
+               {{"dataset", label}});
     if (speedup > best_speedup) {
       best_speedup = speedup;
       knee_ranks = static_cast<double>(n);
@@ -74,16 +88,23 @@ void scaling_study(const std::string& label, const DatasetBundle& bundle,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::size_t max_ranks = 512;
+  if (argc > 1) {
+    const long v = std::strtol(argv[1], nullptr, 10);
+    if (v >= 1) max_ranks = static_cast<std::size_t>(v);
+  }
   bench::banner("Fig. 7 — MaxEnt sampler scalability (SPMD ranks)",
                 "SST-P1F100 quasi-linear to ~64 ranks; SST-P1F4 knees early "
                 "(paper: ~9x at 32 ranks)");
+  bench::JsonReport report("bench_fig7_scalability");
   const auto sst_small = make_dataset("SST-P1F4", 42, /*scale=*/0.5);
   const auto sst_large = make_dataset("SST-P1F100", 42);
-  scaling_study("SST-P1F4 (small)", sst_small, 32, 512);
-  scaling_study("SST-P1F100 (large)", sst_large, 512, 512);
+  scaling_study("SST-P1F4 (small)", sst_small, 32, max_ranks, report);
+  scaling_study("SST-P1F100 (large)", sst_large, 512, max_ranks, report);
   std::printf(
       "sim_time = max-over-ranks CPU time + alpha-beta collective model "
       "(see DESIGN.md: MPI-on-Frontier substitution).\n");
+  report.write("BENCH_fig7_scalability.json");
   return 0;
 }

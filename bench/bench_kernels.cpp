@@ -1,12 +1,21 @@
 // Micro-kernel benchmarks (google-benchmark): the hot paths every
-// experiment runs through — FFT, k-means, histograms, samplers, matmul.
+// experiment runs through — FFT, k-means, histograms, samplers, cube
+// scoring, matmul. Besides the console table, a run writes
+// BENCH_kernels.json (ns/op, throughput, thread count, git sha); compare
+// against the committed baseline in bench/baselines/ (docs/PERF.md).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench_util.hpp"
 #include "cluster/kmeans.hpp"
 #include "common/rng.hpp"
 #include "fft/fft.hpp"
+#include "field/field_source.hpp"
 #include "ml/tensor.hpp"
+#include "sampling/cube_scoring.hpp"
 #include "sampling/point_samplers.hpp"
+#include "stats/entropy.hpp"
 #include "stats/histogram.hpp"
 
 namespace {
@@ -105,6 +114,90 @@ BENCHMARK_TEMPLATE(BM_Sampler, sampling::StratifiedSampler);
 BENCHMARK_TEMPLATE(BM_Sampler, sampling::UipsSampler);
 BENCHMARK_TEMPLATE(BM_Sampler, sampling::MaxEntSampler);
 
+// ------------------------------------------------------------ cube scoring
+//
+// The selector hot path this PR's fused engine targets: 64^3 grid, 8^3
+// cube tiling (512 cubes), k = 8 clusters. "Legacy" reproduces the pre-
+// engine implementation — one single-element-span assign() per point, a
+// floating-point PMF per cube, and the dense O(n^2 k) KL adjacency with a
+// log in the inner loop. "Fused" is the shipping path: assign_batch ->
+// integer counts -> blocked strengths from precomputed log rows. Both run
+// serial here, so the JSON ratio isolates the kernel fusion itself.
+
+struct CubeScoringFixture {
+  field::Snapshot snap{{64, 64, 64}, 0.0};
+  field::CubeTiling tiling{{64, 64, 64}, {8, 8, 8}};
+  cluster::KMeansResult clusters;
+
+  CubeScoringFixture() {
+    auto& f = snap.add("cv");
+    Rng rng(8);
+    std::size_t i = 0;
+    for (auto& x : f.data()) {
+      x = std::sin(0.003 * static_cast<double>(i++)) + 0.25 * rng.normal();
+    }
+    cluster::KMeansOptions opts;
+    opts.k = 8;
+    opts.max_iterations = 20;
+    Rng fit_rng(9);
+    clusters = cluster::minibatch_kmeans(
+        std::span<const double>(f.data()), f.data().size(), 1, opts,
+        fit_rng);
+  }
+
+  static const CubeScoringFixture& instance() {
+    static CubeScoringFixture fx;
+    return fx;
+  }
+};
+
+void BM_CubeScoringLegacy(benchmark::State& state) {
+  const auto& fx = CubeScoringFixture::instance();
+  const field::SnapshotSource src(fx.snap);
+  for (auto _ : state) {
+    std::vector<std::vector<double>> pmfs;
+    pmfs.reserve(fx.tiling.count());
+    for (std::size_t c = 0; c < fx.tiling.count(); ++c) {
+      const auto indices = fx.tiling.point_indices(fx.tiling.coord(c));
+      const auto values =
+          src.gather("cv", std::span<const std::size_t>(indices));
+      std::vector<double> pmf(fx.clusters.k, 0.0);
+      for (const double v : values) {
+        pmf[fx.clusters.assign(std::span<const double>(&v, 1))] += 1.0;
+      }
+      const double inv = 1.0 / static_cast<double>(indices.size());
+      for (double& p : pmf) p *= inv;
+      pmfs.push_back(std::move(pmf));
+    }
+    const auto adjacency =
+        stats::kl_adjacency(std::span<const std::vector<double>>(pmfs));
+    auto strengths = stats::node_strengths(
+        std::span<const double>(adjacency), pmfs.size());
+    benchmark::DoNotOptimize(strengths.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          fx.snap.shape().size());
+}
+BENCHMARK(BM_CubeScoringLegacy);
+
+void BM_CubeScoringFused(benchmark::State& state) {
+  const auto& fx = CubeScoringFixture::instance();
+  const field::SnapshotSource src(fx.snap);
+  for (auto _ : state) {
+    const auto counts = sampling::count_cube_labels(src, fx.tiling,
+                                                    fx.clusters, "cv");
+    const auto pmfs = sampling::pmfs_from_counts(
+        std::span<const std::uint32_t>(counts), fx.clusters.k,
+        fx.tiling.spec().points());
+    auto strengths = sampling::kl_node_strengths(
+        std::span<const double>(pmfs), fx.tiling.count(), fx.clusters.k);
+    benchmark::DoNotOptimize(strengths.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          fx.snap.shape().size());
+}
+BENCHMARK(BM_CubeScoringFused);
+
 void BM_Matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(7);
@@ -120,6 +213,62 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
 
+/// Console output as usual, plus every non-aggregate run collected into a
+/// bench::JsonReport (ns/op, items/s, bytes/s, thread count).
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollectingReporter(sickle::bench::JsonReport* out)
+      : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (!run.aggregate_name.empty()) continue;
+      std::vector<std::pair<std::string, double>> metrics;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      metrics.emplace_back("ns_per_op",
+                           run.real_accumulated_time / iters * 1e9);
+      metrics.emplace_back("threads", static_cast<double>(run.threads));
+      for (const char* counter : {"items_per_second", "bytes_per_second"}) {
+        if (const auto it = run.counters.find(counter);
+            it != run.counters.end()) {
+          metrics.emplace_back(counter, static_cast<double>(it->second));
+        }
+      }
+      out_->add(run.benchmark_name(), metrics);
+    }
+  }
+
+ private:
+  sickle::bench::JsonReport* out_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our --json_out=PATH flag before google-benchmark sees (and
+  // rejects) it.
+  std::string json_path = "BENCH_kernels.json";
+  int argc_out = 0;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char* kFlag = "--json_out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      json_path = argv[i] + std::strlen(kFlag);
+    } else {
+      args.push_back(argv[i]);
+      ++argc_out;
+    }
+  }
+  benchmark::Initialize(&argc_out, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_out, args.data())) {
+    return 1;
+  }
+  sickle::bench::JsonReport report("bench_kernels");
+  JsonCollectingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.write(json_path);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,12 @@
-// Shared helpers for the figure-reproduction harnesses.
+// Shared helpers for the figure-reproduction harnesses: console banners
+// and the machine-readable BENCH_*.json emitter the perf trajectory is
+// tracked with (docs/PERF.md).
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace sickle::bench {
@@ -18,5 +22,118 @@ inline void row_header(const std::vector<std::string>& cols) {
   for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%-22s", "------");
   std::printf("\n");
 }
+
+/// Short git revision of the working tree, or "unknown" outside a repo —
+/// stamped into every BENCH_*.json so baselines are comparable across
+/// commits.
+inline std::string git_sha() {
+  std::string sha;
+  if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) sha = buf;
+    ::pclose(p);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+/// Escape a string for embedding inside JSON double quotes.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal machine-readable bench report: one JSON object with a context
+/// block (bench name, git sha, hardware threads) and a flat array of
+/// records, each a name plus numeric metrics and optional string labels.
+/// Kept dependency-free on purpose — benches must build on bare images.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add(const std::string& name,
+           const std::vector<std::pair<std::string, double>>& metrics,
+           const std::vector<std::pair<std::string, std::string>>& labels =
+               {}) {
+    Record r;
+    r.name = name;
+    r.metrics = metrics;
+    r.labels = labels;
+    records_.push_back(std::move(r));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Write the report; returns false (after printing a warning) on I/O
+  /// failure so benches still exit 0 when run from a read-only directory.
+  bool write(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n",
+                 json_escape(bench_name_).c_str());
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n",
+                 json_escape(git_sha()).c_str());
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"records\": [\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "    {\"name\": \"%s\"", json_escape(r.name).c_str());
+      for (const auto& [key, value] : r.labels) {
+        std::fprintf(f, ", \"%s\": \"%s\"", json_escape(key).c_str(),
+                     json_escape(value).c_str());
+      }
+      for (const auto& [key, value] : r.metrics) {
+        std::fprintf(f, ", \"%s\": %.9g", json_escape(key).c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    // fclose flushes the stdio buffer — its result is the real verdict
+    // (a full disk surfaces here, not at the fprintfs). Always close,
+    // even when a write already failed.
+    const bool had_error = std::ferror(f) != 0;
+    const bool ok = (std::fclose(f) == 0) && !had_error;
+    if (ok) {
+      std::printf("wrote %s (%zu records)\n", path.c_str(), size());
+    } else {
+      std::fprintf(stderr, "bench: error writing %s\n", path.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+    std::vector<std::pair<std::string, std::string>> labels;
+  };
+
+  std::string bench_name_;
+  std::vector<Record> records_;
+};
 
 }  // namespace sickle::bench

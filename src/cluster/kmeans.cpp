@@ -32,6 +32,36 @@ std::uint32_t KMeansResult::assign(std::span<const double> point) const {
   return best;
 }
 
+void KMeansResult::assign_batch(std::span<const double> values,
+                                std::span<std::uint32_t> labels) const {
+  SICKLE_CHECK_MSG(dims > 0 && k > 0, "assign_batch on empty clustering");
+  SICKLE_CHECK_MSG(values.size() == labels.size() * dims,
+                   "assign_batch: values/labels size mismatch");
+  if (dims == 1) {
+    // Fused 1-D hot path: the selector classifies every grid point through
+    // here, so keep the inner loop free of spans and function calls.
+    const double* c = centroids.data();
+    const std::size_t kk = k;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const double v = values[i];
+      std::uint32_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < kk; ++j) {
+        const double d = (v - c[j]) * (v - c[j]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<std::uint32_t>(j);
+        }
+      }
+      labels[i] = best;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = assign(values.subspan(i * dims, dims));
+  }
+}
+
 namespace {
 
 std::span<const double> point_at(std::span<const double> data, std::size_t i,

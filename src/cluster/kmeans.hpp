@@ -34,6 +34,14 @@ struct KMeansResult {
 
   /// Assign an arbitrary point to its nearest centroid.
   [[nodiscard]] std::uint32_t assign(std::span<const double> point) const;
+
+  /// Assign a batch of points in one call: labels[i] is the nearest
+  /// centroid of values[i*dims .. i*dims+dims). The 1-D case (the selector
+  /// hot path) runs a fused loop over a local centroid table — no per-point
+  /// span construction or per-centroid function calls. Bitwise identical to
+  /// calling assign() per point.
+  void assign_batch(std::span<const double> values,
+                    std::span<std::uint32_t> labels) const;
 };
 
 /// Exact Lloyd k-means with k-means++ initialization.

@@ -64,6 +64,7 @@ class SnapshotSource final : public FieldSource {
   }
   void gather(const std::string& var, std::span<const std::size_t> idx,
               std::span<double> out) const override;
+  using field::FieldSource::gather;
 
   [[nodiscard]] const Snapshot& snapshot() const noexcept { return *snap_; }
 

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/error.hpp"
 #include "common/mathx.hpp"
@@ -65,6 +66,18 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+PoolHandle resolve_threads(std::size_t threads) {
+  PoolHandle h;
+  if (threads == 1) return h;  // serial: pool_ stays null
+  if (threads == 0) {
+    h.pool_ = &ThreadPool::global();
+    return h;
+  }
+  h.owned_ = std::make_unique<ThreadPool>(threads);
+  h.pool_ = h.owned_.get();
+  return h;
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   ThreadPool* pool, std::size_t grain) {
   parallel_for_range(
@@ -89,11 +102,32 @@ void parallel_for_range(
   const std::size_t chunks =
       std::min(workers, std::max<std::size_t>(1, n / grain));
   const std::size_t step = ceil_div(n, chunks);
-  for (std::size_t b = 0; b < n; b += step) {
-    const std::size_t e = std::min(n, b + step);
-    pool->submit([&fn, b, e] { fn(b, e); });
+  // Pool tasks must not throw (they would terminate the worker thread);
+  // capture the first chunk's exception and rethrow it on the calling
+  // thread, so parallel loops fail the same catchable way serial ones do.
+  std::mutex err_mu;
+  std::exception_ptr error;
+  try {
+    for (std::size_t b = 0; b < n; b += step) {
+      const std::size_t e = std::min(n, b + step);
+      pool->submit([&fn, &err_mu, &error, b, e] {
+        try {
+          fn(b, e);
+        } catch (...) {
+          std::lock_guard lock(err_mu);
+          if (!error) error = std::current_exception();
+        }
+      });
+    }
+  } catch (...) {
+    // submit() itself threw (stopped pool, allocation failure): drain the
+    // chunks already queued before unwinding, or workers would run tasks
+    // whose captured locals died with this frame.
+    pool->wait_idle();
+    throw;
   }
   pool->wait_idle();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace sickle

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -48,6 +49,25 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool stop_ = false;
 };
+
+/// Owning resolution of a `threads:` config knob onto a pool:
+///   1 -> serial execution (get() == nullptr; callers run inline),
+///   0 -> the process-global pool (all hardware threads),
+///   N -> a dedicated N-worker pool owned by this handle.
+/// Handles are cheap to create per pipeline run; a dedicated pool's workers
+/// join when the handle goes out of scope.
+class PoolHandle {
+ public:
+  PoolHandle() = default;
+  [[nodiscard]] ThreadPool* get() const noexcept { return pool_; }
+
+ private:
+  friend PoolHandle resolve_threads(std::size_t threads);
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_ = nullptr;
+};
+
+[[nodiscard]] PoolHandle resolve_threads(std::size_t threads);
 
 /// Run fn(i) for i in [0, n) across the pool in contiguous chunks.
 /// Falls back to a serial loop for tiny n, where task overhead dominates.

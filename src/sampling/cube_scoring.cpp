@@ -1,0 +1,91 @@
+#include "sampling/cube_scoring.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "stats/entropy.hpp"
+
+namespace sickle::sampling {
+
+std::vector<std::uint32_t> count_cube_labels(
+    const field::FieldSource& src, const field::CubeTiling& tiling,
+    const cluster::KMeansResult& clusters, const std::string& var,
+    ThreadPool* pool, std::size_t cube_begin, std::size_t cube_end) {
+  cube_end = std::min(cube_end, tiling.count());
+  SICKLE_CHECK_MSG(cube_begin <= cube_end, "invalid cube range");
+  SICKLE_CHECK_MSG(clusters.k > 0, "count_cube_labels needs a clustering");
+  const std::size_t n = cube_end - cube_begin;
+  const std::size_t k = clusters.k;
+  const std::size_t ppc = tiling.spec().points();
+  std::vector<std::uint32_t> counts(n * k, 0);
+
+  // One worker chunk processes a contiguous cube range with reused
+  // gather/label buffers; every cube writes only its own counts slot, so
+  // the reduction order (and hence the result) is thread-count invariant.
+  const auto worker = [&](std::size_t b, std::size_t e) {
+    std::vector<double> values(ppc);
+    std::vector<std::uint32_t> labels(ppc);
+    for (std::size_t c = b; c < e; ++c) {
+      const auto indices =
+          tiling.point_indices(tiling.coord(cube_begin + c));
+      src.gather(var, std::span<const std::size_t>(indices),
+                 std::span<double>(values));
+      clusters.assign_batch(std::span<const double>(values),
+                            std::span<std::uint32_t>(labels));
+      std::uint32_t* row = counts.data() + c * k;
+      for (const std::uint32_t l : labels) ++row[l];
+    }
+  };
+  if (pool != nullptr) {
+    parallel_for_range(n, worker, pool, /*grain=*/1);
+  } else {
+    worker(0, n);
+  }
+  return counts;
+}
+
+std::vector<double> pmfs_from_counts(std::span<const std::uint32_t> counts,
+                                     std::size_t k,
+                                     std::size_t points_per_cube) {
+  SICKLE_CHECK_MSG(k > 0 && counts.size() % k == 0,
+                   "counts must hold whole k-sized rows");
+  SICKLE_CHECK_MSG(points_per_cube > 0, "empty cubes cannot be normalized");
+  const double inv = 1.0 / static_cast<double>(points_per_cube);
+  std::vector<double> pmfs(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    pmfs[i] = static_cast<double>(counts[i]) * inv;
+  }
+  return pmfs;
+}
+
+std::vector<double> kl_node_strengths(std::span<const double> pmfs,
+                                      std::size_t n, std::size_t k,
+                                      ThreadPool* pool, double eps) {
+  const auto logs = stats::log_pmf_rows(pmfs, n, k, eps);
+  std::vector<double> strengths(n);
+  const auto worker = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      strengths[i] =
+          stats::kl_row_strength(pmfs, std::span<const double>(logs), n, k,
+                                 i);
+    }
+  };
+  if (pool != nullptr) {
+    parallel_for_range(n, worker, pool, /*grain=*/8);
+  } else {
+    worker(0, n);
+  }
+  return strengths;
+}
+
+std::vector<double> pmf_row_entropies(std::span<const double> pmfs,
+                                      std::size_t n, std::size_t k) {
+  SICKLE_CHECK_MSG(pmfs.size() == n * k, "pmfs must be n x k row-major");
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = stats::shannon_entropy(pmfs.subspan(i * k, k));
+  }
+  return out;
+}
+
+}  // namespace sickle::sampling

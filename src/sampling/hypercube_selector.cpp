@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "cluster/kmeans.hpp"
+#include "sampling/cube_scoring.hpp"
 #include "sampling/point_samplers.hpp"
 #include "stats/entropy.hpp"
 
@@ -39,43 +40,22 @@ cluster::KMeansResult fit_clusters(const field::FieldSource& src,
                                    1, opts, rng);
 }
 
-/// PMF of cluster labels for the points of one cube.
-std::vector<double> cube_label_pmf(const field::FieldSource& src,
-                                   const field::CubeTiling& tiling,
-                                   std::size_t cube_id,
-                                   const cluster::KMeansResult& clusters,
-                                   const std::string& cluster_var) {
-  const auto indices = tiling.point_indices(tiling.coord(cube_id));
-  const auto values =
-      src.gather(cluster_var, std::span<const std::size_t>(indices));
-  std::vector<double> pmf(clusters.k, 0.0);
-  for (const double v : values) {
-    pmf[clusters.assign(std::span<const double>(&v, 1))] += 1.0;
-  }
-  const double inv = 1.0 / static_cast<double>(indices.size());
-  for (double& p : pmf) p *= inv;
-  return pmf;
-}
-
-/// Strengths from the gathered per-cube PMFs: KL row sums (Eq. 2).
-std::vector<double> strengths_from_pmfs(
-    const std::vector<std::vector<double>>& pmfs) {
-  const auto adjacency =
-      stats::kl_adjacency(std::span<const std::vector<double>>(pmfs));
-  return stats::node_strengths(std::span<const double>(adjacency),
-                               pmfs.size());
-}
-
-/// Per-cube Shannon entropy of the label PMF — the "entropy" weighting
-/// ablation (DESIGN.md §6).
-std::vector<double> entropies_from_pmfs(
-    const std::vector<std::vector<double>>& pmfs) {
-  std::vector<double> out;
-  out.reserve(pmfs.size());
-  for (const auto& p : pmfs) {
-    out.push_back(stats::shannon_entropy(std::span<const double>(p)));
-  }
-  return out;
+/// Fused scoring: label counts -> PMFs -> maxent strengths or entropies.
+/// All parallelism lives behind cfg.pool; weights are identical for any
+/// thread count (see cube_scoring.hpp).
+std::vector<double> cube_weights(const field::FieldSource& src,
+                                 const field::CubeTiling& tiling,
+                                 const HypercubeSelectorConfig& cfg,
+                                 const cluster::KMeansResult& clusters) {
+  const auto counts = count_cube_labels(src, tiling, clusters,
+                                        cfg.cluster_var, cfg.pool);
+  const auto pmfs = pmfs_from_counts(std::span<const std::uint32_t>(counts),
+                                     clusters.k, tiling.spec().points());
+  return cfg.method == "entropy"
+             ? pmf_row_entropies(std::span<const double>(pmfs),
+                                 tiling.count(), clusters.k)
+             : kl_node_strengths(std::span<const double>(pmfs),
+                                 tiling.count(), clusters.k, cfg.pool);
 }
 
 std::vector<std::size_t> draw_cubes(std::span<const double> weights,
@@ -105,14 +85,13 @@ std::vector<double> hypercube_strengths(const field::FieldSource& src,
                                         const HypercubeSelectorConfig& cfg) {
   Rng rng(cfg.seed, /*stream=*/0x4C);
   const auto clusters = fit_clusters(src, cfg, rng);
-  std::vector<std::vector<double>> pmfs;
-  pmfs.reserve(tiling.count());
-  for (std::size_t c = 0; c < tiling.count(); ++c) {
-    pmfs.push_back(cube_label_pmf(src, tiling, c, clusters,
-                                  cfg.cluster_var));
-  }
+  const auto counts = count_cube_labels(src, tiling, clusters,
+                                        cfg.cluster_var, cfg.pool);
+  const auto pmfs = pmfs_from_counts(std::span<const std::uint32_t>(counts),
+                                     clusters.k, tiling.spec().points());
   tally_scan(cfg, src.shape().size());
-  return strengths_from_pmfs(pmfs);
+  return kl_node_strengths(std::span<const double>(pmfs), tiling.count(),
+                           clusters.k, cfg.pool);
 }
 
 std::vector<double> hypercube_strengths(const field::Snapshot& snap,
@@ -135,16 +114,8 @@ std::vector<std::size_t> select_hypercubes(const field::FieldSource& src,
                    "unknown hypercube method: " + cfg.method);
   Rng fit_rng(cfg.seed, /*stream=*/0xF17);
   const auto clusters = fit_clusters(src, cfg, fit_rng);
-  std::vector<std::vector<double>> pmfs;
-  pmfs.reserve(n);
-  for (std::size_t c = 0; c < n; ++c) {
-    pmfs.push_back(cube_label_pmf(src, tiling, c, clusters,
-                                  cfg.cluster_var));
-  }
+  const auto weights = cube_weights(src, tiling, cfg, clusters);
   tally_scan(cfg, src.shape().size());
-  const std::vector<double> weights = (cfg.method == "maxent")
-                                          ? strengths_from_pmfs(pmfs)
-                                          : entropies_from_pmfs(pmfs);
   return draw_cubes(std::span<const double>(weights), k, rng);
 }
 
@@ -182,15 +153,14 @@ std::vector<std::size_t> select_hypercubes(const field::Snapshot& snap,
   clusters.dims = 1;
   clusters.centroids = centroids;
 
-  // Each rank computes PMFs for its block of cubes; flatten for allgather.
+  // Each rank counts labels for its block of cubes through the same fused
+  // batch kernel as the serial path; PMFs are flattened for allgather.
   const auto [begin, end] = comm.block_range(n);
-  std::vector<double> local_flat;
-  local_flat.reserve((end - begin) * clusters.k);
-  for (std::size_t c = begin; c < end; ++c) {
-    const auto pmf = cube_label_pmf(src, tiling, c, clusters,
-                                    cfg.cluster_var);
-    local_flat.insert(local_flat.end(), pmf.begin(), pmf.end());
-  }
+  const auto local_counts = count_cube_labels(
+      src, tiling, clusters, cfg.cluster_var, /*pool=*/nullptr, begin, end);
+  const std::vector<double> local_flat = pmfs_from_counts(
+      std::span<const std::uint32_t>(local_counts), clusters.k,
+      tiling.spec().points());
   if (cfg.energy != nullptr) {
     const double pts = static_cast<double>(end - begin) *
                        static_cast<double>(tiling.spec().points());
@@ -199,31 +169,27 @@ std::vector<std::size_t> select_hypercubes(const field::Snapshot& snap,
   }
   const std::vector<double> all_flat = comm.allgather(local_flat);
   SICKLE_CHECK(all_flat.size() == n * clusters.k);
-  std::vector<std::vector<double>> pmfs(n);
-  for (std::size_t c = 0; c < n; ++c) {
-    pmfs[c].assign(all_flat.begin() + c * clusters.k,
-                   all_flat.begin() + (c + 1) * clusters.k);
-  }
 
-  // The O(n_cubes^2) KL adjacency is the selector's dominant cost at
-  // scale, so it is row-decomposed too: each rank reduces its block of
-  // rows to node strengths (or entropies) and the strengths are
-  // allgathered. Every rank then performs the identical weighted draw.
+  // The O(n_cubes^2) KL reduction is row-decomposed too: each rank reduces
+  // its block of rows to node strengths (or entropies) with the identical
+  // blocked kernel the serial selector uses, so serial and SPMD weights
+  // are bit-equal. The strengths are allgathered and every rank performs
+  // the identical weighted draw.
   std::vector<double> local_weights;
   local_weights.reserve(end - begin);
-  for (std::size_t i = begin; i < end; ++i) {
-    if (cfg.method == "maxent") {
-      double row = 0.0;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j != i) {
-          row += stats::kl_divergence(std::span<const double>(pmfs[i]),
-                                      std::span<const double>(pmfs[j]));
-        }
-      }
-      local_weights.push_back(row);
-    } else {
-      local_weights.push_back(
-          stats::shannon_entropy(std::span<const double>(pmfs[i])));
+  if (cfg.method == "maxent") {
+    const auto logs = stats::log_pmf_rows(std::span<const double>(all_flat),
+                                          n, clusters.k);
+    for (std::size_t i = begin; i < end; ++i) {
+      local_weights.push_back(stats::kl_row_strength(
+          std::span<const double>(all_flat), std::span<const double>(logs),
+          n, clusters.k, i));
+    }
+  } else {
+    for (std::size_t i = begin; i < end; ++i) {
+      local_weights.push_back(stats::shannon_entropy(
+          std::span<const double>(all_flat)
+              .subspan(i * clusters.k, clusters.k)));
     }
   }
   const std::vector<double> weights = comm.allgather(local_weights);

@@ -21,6 +21,7 @@
 #include "energy/energy.hpp"
 #include "field/field_source.hpp"
 #include "field/hypercube.hpp"
+#include "parallel/thread_pool.hpp"
 #include "parallel/world.hpp"
 
 namespace sickle::sampling {
@@ -33,6 +34,13 @@ struct HypercubeSelectorConfig {
   std::size_t cluster_subsample = 65536;  ///< points used to fit k-means
   std::uint64_t seed = 0;
   energy::EnergyCounter* energy = nullptr;
+  /// Pool for the fused cube-scoring fan-out (label counting + KL rows);
+  /// nullptr runs serial. Selections are bit-identical either way: the
+  /// clustering fit (all RNG consumption) happens before the fan-out and
+  /// every cube/row reduces into its own slot. A pooled run gathers from
+  /// the source concurrently, so the source must be thread-safe (Snapshot
+  /// sources are read-only; store::ChunkReader shards its cache).
+  ThreadPool* pool = nullptr;
 };
 
 /// Select cube flat-ids from the tiling of `snap`. Serial entry point.

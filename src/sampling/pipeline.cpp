@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "common/timer.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sampling/hypercube_selector.hpp"
 #include "sampling/point_samplers.hpp"
 
@@ -98,22 +99,50 @@ CubeSamples sample_one_cube(const field::FieldSource& src,
 /// entry points (the equivalence guarantee of run_pipeline_streaming).
 PipelineResult run_over_source(const field::FieldSource& src,
                                const PipelineConfig& cfg,
-                               std::size_t snapshot_index) {
+                               std::size_t snapshot_index,
+                               ThreadPool* pool_ptr) {
   PipelineResult result;
   Timer timer;
   const field::CubeTiling tiling(src.shape(), cfg.cube);
   auto sel_cfg = make_selector_config(cfg, &result.energy);
   sel_cfg.seed = cfg.seed + snapshot_index;  // fresh cube draw per snapshot
+  sel_cfg.pool = pool_ptr;
   const auto cube_ids = select_hypercubes(src, tiling, sel_cfg);
   const auto sampler = SamplerRegistry::instance().create(cfg.point_method);
-  const SamplerContext ctx = make_context(cfg, &result.energy);
-  for (const std::size_t cube_id : cube_ids) {
-    result.cubes.push_back(sample_one_cube(src, tiling, snapshot_index,
-                                           cube_id, cfg, *sampler, ctx));
+  const SamplerContext ctx = make_context(cfg, /*energy=*/nullptr);
+
+  // Phase 2 fans out per cube: every cube forks its own RNG from the
+  // (snapshot, cube) pair and writes its samples and energy tallies into
+  // its own slot, merged in cube-id order afterwards — so the result
+  // (samples *and* energy) is bit-identical for any thread count.
+  result.cubes.resize(cube_ids.size());
+  std::vector<energy::EnergyCounter> cube_energy(cube_ids.size());
+  const auto work = [&](std::size_t i) {
+    SamplerContext cube_ctx = ctx;
+    cube_ctx.energy = &cube_energy[i];
+    result.cubes[i] = sample_one_cube(src, tiling, snapshot_index,
+                                      cube_ids[i], cfg, *sampler, cube_ctx);
+  };
+  if (pool_ptr != nullptr) {
+    parallel_for(cube_ids.size(), work, pool_ptr, /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < cube_ids.size(); ++i) work(i);
   }
+  for (const auto& e : cube_energy) result.energy.merge(e);
   result.sampling_seconds = timer.seconds();
   result.energy.add_seconds(result.sampling_seconds);
   return result;
+}
+
+/// Single-snapshot convenience: resolves the pool from cfg.threads for
+/// this run. Multi-snapshot callers resolve once and pass the pool down,
+/// so a dedicated `threads: N` pool is spawned once per run, not per
+/// snapshot.
+PipelineResult run_over_source(const field::FieldSource& src,
+                               const PipelineConfig& cfg,
+                               std::size_t snapshot_index) {
+  const PoolHandle pool = resolve_threads(cfg.threads);
+  return run_over_source(src, cfg, snapshot_index, pool.get());
 }
 
 }  // namespace
@@ -129,13 +158,21 @@ PipelineResult run_pipeline_streaming(const field::FieldSource& src,
   return run_over_source(src, cfg, snapshot_index);
 }
 
+PipelineResult run_pipeline_streaming(const field::FieldSource& src,
+                                      const PipelineConfig& cfg,
+                                      std::size_t snapshot_index,
+                                      ThreadPool* pool) {
+  return run_over_source(src, cfg, snapshot_index, pool);
+}
+
 PipelineResult run_pipeline(const field::Dataset& dataset,
                             const PipelineConfig& cfg) {
   PipelineResult result;
   Timer timer;
+  const PoolHandle pool = resolve_threads(cfg.threads);
   for (std::size_t t = 0; t < dataset.num_snapshots(); ++t) {
     auto r = run_over_source(field::SnapshotSource(dataset.snapshot(t)),
-                             cfg, t);
+                             cfg, t, pool.get());
     result.energy.merge(r.energy);
     std::move(r.cubes.begin(), r.cubes.end(),
               std::back_inserter(result.cubes));

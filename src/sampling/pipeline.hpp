@@ -20,6 +20,7 @@
 #include "field/field.hpp"
 #include "field/field_source.hpp"
 #include "field/hypercube.hpp"
+#include "parallel/thread_pool.hpp"
 #include "parallel/world.hpp"
 #include "sampling/sample_set.hpp"
 
@@ -37,6 +38,14 @@ struct PipelineConfig {
   std::string cluster_var;                  ///< --cluster_var
   std::size_t pdf_bins = 10;                ///< UIPS bins per axis
   std::uint64_t seed = 42;
+  /// Worker threads for cube scoring and per-cube point sampling:
+  /// 1 = serial (default), 0 = all hardware threads, N = a dedicated
+  /// N-worker pool. Sample sets are bit-identical for every value — the
+  /// clustering fit and cube draw consume RNG before the fan-out, each
+  /// cube forks its own RNG, and all reductions run in cube-id order.
+  /// With threads != 1 the snapshot source is gathered concurrently, so a
+  /// store-backed run shares one thread-safe sharded ChunkReader.
+  std::size_t threads = 1;
 };
 
 /// Samples extracted from one cube of one snapshot.
@@ -56,7 +65,8 @@ struct PipelineResult {
   [[nodiscard]] std::size_t total_points() const;
 };
 
-/// Serial pipeline over one snapshot.
+/// Pipeline over one snapshot; cube scoring and point sampling honor
+/// cfg.threads (1 = serial default) with thread-count-independent results.
 [[nodiscard]] PipelineResult run_pipeline(const field::Snapshot& snap,
                                           const PipelineConfig& cfg);
 
@@ -71,7 +81,18 @@ struct PipelineResult {
     const field::FieldSource& src, const PipelineConfig& cfg,
     std::size_t snapshot_index = 0);
 
-/// Serial pipeline over every snapshot of a dataset.
+/// Pool-reusing variant for multi-snapshot drivers: `pool` overrides
+/// cfg.threads (nullptr = serial), so a dedicated worker pool can be
+/// resolved once per run instead of once per snapshot. Results are
+/// identical to the 3-argument overload for any pool.
+[[nodiscard]] PipelineResult run_pipeline_streaming(
+    const field::FieldSource& src, const PipelineConfig& cfg,
+    std::size_t snapshot_index, ThreadPool* pool);
+
+/// Pipeline over every snapshot of a dataset. Snapshots are processed in
+/// order; within each snapshot, cube scoring and point sampling honor
+/// cfg.threads (one pool resolved for the whole run). Results are
+/// independent of the thread count.
 [[nodiscard]] PipelineResult run_pipeline(const field::Dataset& dataset,
                                           const PipelineConfig& cfg);
 

@@ -123,13 +123,15 @@ sampling::PipelineResult sample_via_store(const field::Dataset& data,
 
   sampling::PipelineResult result;
   Timer timer;
+  // One pool for the whole spill-and-stream run, not one per snapshot.
+  const PoolHandle pool = resolve_threads(pl.threads);
   for (std::size_t t = 0; t < data.num_snapshots(); ++t) {
     const std::string path =
         (dir / ("snap_" + std::to_string(t) + ".skl2")).string();
     const auto written = store::write_store(data.snapshot(t), path, opts);
     if (store_bytes != nullptr) *store_bytes += written.file_bytes;
     const store::ChunkReader reader(path, opts.cache_bytes);
-    auto r = sampling::run_pipeline_streaming(reader, pl, t);
+    auto r = sampling::run_pipeline_streaming(reader, pl, t, pool.get());
     result.energy.merge(r.energy);
     std::move(r.cubes.begin(), r.cubes.end(),
               std::back_inserter(result.cubes));

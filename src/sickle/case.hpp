@@ -23,7 +23,9 @@ struct CaseConfig {
   std::size_t model_layers = 1;
   /// Sampling backend: "memory" runs the in-RAM pipeline; "skl2" spills
   /// each snapshot to a chunked compressed store and samples out-of-core
-  /// through a ChunkReader (identical samples for lossless codecs).
+  /// through a ChunkReader (identical samples for lossless codecs). With
+  /// pipeline.threads != 1 the skl2 path drives one shared sharded reader
+  /// from all sampling workers.
   std::string backend = "memory";
   store::StoreOptions store;  ///< chunking/codec knobs for the skl2 backend
 };

@@ -58,6 +58,14 @@ sampling::PipelineConfig pipeline_from_config(const Config& cfg) {
   pl.pdf_bins = static_cast<std::size_t>(
       cfg.get_int("subsample", "pdf_bins", 10));
   pl.seed = static_cast<std::uint64_t>(cfg.get_int("shared", "seed", 42));
+  // Worker threads for scoring + point sampling: 1 serial, 0 = all
+  // hardware threads, N = dedicated pool. Bit-identical samples for every
+  // value (see PipelineConfig::threads).
+  const long threads = cfg.get_int("subsample", "threads", 1);
+  if (threads < 0) {
+    throw RuntimeError("subsample threads must be >= 0");
+  }
+  pl.threads = static_cast<std::size_t>(threads);
   return pl;
 }
 

@@ -23,6 +23,9 @@ namespace sickle {
 
 /// Build the sampling pipeline from the `shared` + `subsample` sections.
 /// Missing keys fall back to the same defaults the paper's CLI uses.
+/// `subsample.threads` maps onto PipelineConfig::threads (1 = serial,
+/// 0 = all hardware threads, N = dedicated pool; samples are bit-identical
+/// for every value).
 [[nodiscard]] sampling::PipelineConfig pipeline_from_config(
     const Config& cfg);
 

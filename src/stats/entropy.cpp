@@ -61,6 +61,39 @@ std::vector<double> node_strengths(std::span<const double> adjacency,
   return s;
 }
 
+std::vector<double> log_pmf_rows(std::span<const double> pmfs, std::size_t n,
+                                 std::size_t k, double eps) {
+  SICKLE_CHECK_MSG(pmfs.size() == n * k, "pmfs must be n x k row-major");
+  std::vector<double> logs(n * k);
+  for (std::size_t i = 0; i < n * k; ++i) {
+    logs[i] = std::log(std::max(pmfs[i], eps));
+  }
+  return logs;
+}
+
+double kl_row_strength(std::span<const double> pmfs,
+                       std::span<const double> logs, std::size_t n,
+                       std::size_t k, std::size_t i) {
+  SICKLE_CHECK_MSG(pmfs.size() == n * k && logs.size() == n * k && i < n,
+                   "kl_row_strength: inconsistent inputs");
+  const double* pi = pmfs.data() + i * k;
+  const double* li = logs.data() + i * k;
+  double row = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == i) continue;
+    const double* lj = logs.data() + j * k;
+    double d = 0.0;
+    for (std::size_t b = 0; b < k; ++b) {
+      // Bins with p_i = 0 contribute nothing; log(p_i) is then the floored
+      // logs value, but it is never read. Non-zero PMF entries of proper
+      // label histograms are >= 1/points >> eps, so li[b] == log(pi[b]).
+      if (pi[b] > 0.0) d += pi[b] * (li[b] - lj[b]);
+    }
+    row += d;
+  }
+  return row;
+}
+
 std::vector<double> normalize_weights(std::span<const double> weights) {
   double total = 0.0;
   for (const double w : weights) {

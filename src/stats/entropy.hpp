@@ -41,6 +41,22 @@ namespace sickle::stats {
 [[nodiscard]] std::vector<double> node_strengths(
     std::span<const double> adjacency, std::size_t n);
 
+/// log(max(p, eps)) over a flat row-major [n x k] PMF matrix — the
+/// precomputation that turns the O(n^2 k) KL adjacency inner loop into
+/// pure multiply-adds (n*k logs total instead of n^2*k).
+[[nodiscard]] std::vector<double> log_pmf_rows(std::span<const double> pmfs,
+                                               std::size_t n, std::size_t k,
+                                               double eps = 1e-12);
+
+/// Node strength of one row: sum over j != i of KL(pmfs[i] || pmfs[j]),
+/// computed blockwise from the logs produced by log_pmf_rows. This is the
+/// single per-row kernel shared by the serial, thread-parallel, and SPMD
+/// selectors, so all of them produce bit-identical weights.
+[[nodiscard]] double kl_row_strength(std::span<const double> pmfs,
+                                     std::span<const double> logs,
+                                     std::size_t n, std::size_t k,
+                                     std::size_t i);
+
 /// Normalize a non-negative weight vector into a probability distribution.
 /// All-zero input maps to the uniform distribution (the sampler's fallback
 /// when clusters are indistinguishable).

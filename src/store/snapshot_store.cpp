@@ -1,7 +1,12 @@
 #include "store/snapshot_store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -24,6 +29,22 @@ T read_pod(std::ifstream& f) {
   f.read(reinterpret_cast<char*>(&v), sizeof(T));
   if (!f) throw RuntimeError("truncated SKL2 file");
   return v;
+}
+
+/// Shard count for a cache: single shard while the budget holds only a
+/// few chunks (strict global LRU, the pre-sharding behavior), doubling up
+/// to 16 once every shard can still hold several chunks of its own.
+std::size_t auto_shard_count(std::size_t cache_bytes,
+                             std::size_t chunk_bytes) {
+  std::size_t s = 1;
+  while (s < 16 && cache_bytes / (2 * s) >= 4 * chunk_bytes) s *= 2;
+  return s;
+}
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p *= 2;
+  return p;
 }
 
 /// Copy one chunk's values out of a field, z-fastest within the box.
@@ -113,54 +134,55 @@ StoreWriteReport write_store(const field::Snapshot& snap,
   return report;
 }
 
-ChunkReader::ChunkReader(const std::string& path, std::size_t cache_bytes)
-    : path_(path), file_(path, std::ios::binary),
-      cache_capacity_(cache_bytes) {
-  if (!file_) throw RuntimeError("cannot open for read: " + path);
+ChunkReader::ChunkReader(const std::string& path, std::size_t cache_bytes,
+                         std::size_t shards)
+    : path_(path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw RuntimeError("cannot open for read: " + path);
   char magic[4];
-  file_.read(magic, 4);
-  if (!file_ || std::memcmp(magic, kMagic, 4) != 0) {
+  file.read(magic, 4);
+  if (!file || std::memcmp(magic, kMagic, 4) != 0) {
     throw RuntimeError("not an SKL2 store file: " + path);
   }
-  const auto version = read_pod<std::uint32_t>(file_);
+  const auto version = read_pod<std::uint32_t>(file);
   if (version != kVersion) {
     throw RuntimeError("unsupported SKL2 version in " + path);
   }
   field::GridShape grid;
-  grid.nx = read_pod<std::uint64_t>(file_);
-  grid.ny = read_pod<std::uint64_t>(file_);
-  grid.nz = read_pod<std::uint64_t>(file_);
-  time_ = read_pod<double>(file_);
+  grid.nx = read_pod<std::uint64_t>(file);
+  grid.ny = read_pod<std::uint64_t>(file);
+  grid.nz = read_pod<std::uint64_t>(file);
+  time_ = read_pod<double>(file);
   field::GridShape chunk;
-  chunk.nx = read_pod<std::uint64_t>(file_);
-  chunk.ny = read_pod<std::uint64_t>(file_);
-  chunk.nz = read_pod<std::uint64_t>(file_);
+  chunk.nx = read_pod<std::uint64_t>(file);
+  chunk.ny = read_pod<std::uint64_t>(file);
+  chunk.nz = read_pod<std::uint64_t>(file);
   layout_ = ChunkLayout(grid, chunk);
-  const auto codec_id = read_pod<std::uint8_t>(file_);
-  const auto tolerance = read_pod<double>(file_);
+  const auto codec_id = read_pod<std::uint8_t>(file);
+  const auto tolerance = read_pod<double>(file);
   codec_ = make_codec(static_cast<CodecId>(codec_id), tolerance);
   codec_name_ = codec_->name();
-  const auto nfields = read_pod<std::uint64_t>(file_);
+  const auto nfields = read_pod<std::uint64_t>(file);
   SICKLE_CHECK_MSG(nfields < 1024, "implausible field count in SKL2");
   names_.reserve(nfields);
   for (std::uint64_t i = 0; i < nfields; ++i) {
-    const auto len = read_pod<std::uint32_t>(file_);
+    const auto len = read_pod<std::uint32_t>(file);
     SICKLE_CHECK_MSG(len < (1u << 20), "implausible name length in SKL2");
     std::string name(len, '\0');
-    file_.read(name.data(), len);
-    if (!file_) throw RuntimeError("truncated SKL2 file");
+    file.read(name.data(), len);
+    if (!file) throw RuntimeError("truncated SKL2 file");
     field_index_[name] = i;
     names_.push_back(std::move(name));
   }
-  const auto nchunks = read_pod<std::uint64_t>(file_);
+  const auto nchunks = read_pod<std::uint64_t>(file);
   SICKLE_CHECK_MSG(nchunks == layout_.count(),
                    "SKL2 chunk count does not match its grid/chunk shape");
   index_.resize(nfields * nchunks);
   const auto file_size =
       static_cast<std::uint64_t>(std::filesystem::file_size(path));
   for (auto& ref : index_) {
-    ref.offset = read_pod<std::uint64_t>(file_);
-    ref.bytes = read_pod<std::uint64_t>(file_);
+    ref.offset = read_pod<std::uint64_t>(file);
+    ref.bytes = read_pod<std::uint64_t>(file);
     // Reject corrupt index entries here rather than letting chunk() make
     // an unchecked (possibly huge) allocation later.
     if (ref.offset > file_size || ref.bytes > file_size - ref.offset) {
@@ -168,40 +190,99 @@ ChunkReader::ChunkReader(const std::string& path, std::size_t cache_bytes)
                          path);
     }
   }
+
+  const std::size_t chunk_bytes =
+      layout_.chunk_shape().size() * sizeof(double);
+  // Clamp before rounding: round_up_pow2 would loop forever past 2^63.
+  shard_count_ = shards == 0
+                     ? auto_shard_count(cache_bytes, chunk_bytes)
+                     : round_up_pow2(std::min<std::size_t>(shards, 256));
+  shard_capacity_ = std::max<std::size_t>(cache_bytes / shard_count_, 1);
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+
+  // Payload reads go through pread(2): no shared seek state, so shards
+  // never contend on the descriptor. Opened last: a throwing constructor
+  // never runs the destructor, so nothing may throw after this or the
+  // descriptor would leak.
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) throw RuntimeError("cannot open for read: " + path);
+}
+
+ChunkReader::~ChunkReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<std::uint8_t> ChunkReader::read_block(const BlockRef& ref)
+    const {
+  std::vector<std::uint8_t> block(ref.bytes);
+  std::size_t got = 0;
+  while (got < ref.bytes) {
+    const ssize_t r = ::pread(fd_, block.data() + got, ref.bytes - got,
+                              static_cast<off_t>(ref.offset + got));
+    if (r < 0 && errno == EINTR) continue;  // interrupted, not truncated
+    if (r <= 0) throw RuntimeError("truncated SKL2 file: " + path_);
+    got += static_cast<std::size_t>(r);
+  }
+  return block;
 }
 
 std::shared_ptr<const std::vector<double>> ChunkReader::chunk(
     std::size_t field_index, std::size_t chunk_id) const {
   SICKLE_CHECK(field_index < names_.size() && chunk_id < layout_.count());
   const std::uint64_t key = field_index * layout_.count() + chunk_id;
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    ++stats_.hits;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return it->second.values;
+  Shard& shard = shards_[key & (shard_count_ - 1)];
+  {
+    std::lock_guard lock(shard.mu);
+    if (const auto it = shard.map.find(key); it != shard.map.end()) {
+      ++shard.stats.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      return it->second.values;
+    }
+    ++shard.stats.misses;
   }
-  ++stats_.misses;
-  const BlockRef& ref = index_[key];
-  std::vector<std::uint8_t> block(ref.bytes);
-  file_.clear();
-  file_.seekg(static_cast<std::streamoff>(ref.offset));
-  file_.read(reinterpret_cast<char*>(block.data()),
-             static_cast<std::streamsize>(block.size()));
-  if (!file_) throw RuntimeError("truncated SKL2 file: " + path_);
+
+  // I/O and decode run unlocked so same-shard workers stay parallel on
+  // misses; two threads may decode the same block concurrently, and the
+  // re-check below keeps the first insert.
+  const auto block = read_block(index_[key]);
   auto values = std::make_shared<const std::vector<double>>(codec_->decode(
       std::span<const std::uint8_t>(block), layout_.box(chunk_id).points()));
 
-  lru_.push_front(key);
-  cache_[key] = CacheEntry{values, lru_.begin()};
-  stats_.resident_bytes += values->size() * sizeof(double);
-  while (stats_.resident_bytes > cache_capacity_ && cache_.size() > 1) {
-    const std::uint64_t victim = lru_.back();
-    lru_.pop_back();
-    const auto vit = cache_.find(victim);
-    stats_.resident_bytes -= vit->second.values->size() * sizeof(double);
-    cache_.erase(vit);
-    ++stats_.evictions;
+  std::lock_guard lock(shard.mu);
+  if (const auto it = shard.map.find(key); it != shard.map.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return it->second.values;
+  }
+  shard.lru.push_front(key);
+  shard.map[key] = CacheEntry{values, shard.lru.begin()};
+  shard.stats.resident_bytes += values->size() * sizeof(double);
+  // Evict strictly down to the shard budget — all the way to empty if a
+  // single chunk exceeds it (the caller holds the values shared_ptr, so
+  // nothing dangles). Retaining a minimum entry instead would let
+  // shard_count oversized chunks pin shard_count * chunk_bytes, breaking
+  // the O(cache_bytes) memory contract for explicit shard counts.
+  while (shard.stats.resident_bytes > shard_capacity_ &&
+         !shard.map.empty()) {
+    const std::uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    const auto vit = shard.map.find(victim);
+    shard.stats.resident_bytes -= vit->second.values->size() * sizeof(double);
+    shard.map.erase(vit);
+    ++shard.stats.evictions;
   }
   return values;
+}
+
+ChunkReader::CacheStats ChunkReader::cache_stats() const {
+  CacheStats total;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard lock(shards_[s].mu);
+    total.hits += shards_[s].stats.hits;
+    total.misses += shards_[s].stats.misses;
+    total.evictions += shards_[s].stats.evictions;
+    total.resident_bytes += shards_[s].stats.resident_bytes;
+  }
+  return total;
 }
 
 void ChunkReader::gather(const std::string& var,

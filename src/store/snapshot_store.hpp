@@ -13,10 +13,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <fstream>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -66,12 +66,29 @@ StoreWriteReport write_store(const field::Snapshot& snap,
 /// Chunks decode on demand and live in a byte-bounded LRU cache, so any
 /// access pattern — full-field scans, per-cube gathers, random point
 /// lookups — runs in O(cache) memory. Implements field::FieldSource, which
-/// is all the sampling pipeline needs. Not thread-safe: one reader per
-/// thread (the file handle and cache are shared mutable state).
+/// is all the sampling pipeline needs.
+///
+/// Thread-safety contract: one ChunkReader may be shared by any number of
+/// threads calling gather()/chunk()/load_field() concurrently. The block
+/// cache is split into power-of-two shards (each with its own mutex, LRU
+/// list, and slice of the byte budget, keyed by chunk id) and file reads
+/// use pread(2), which carries no shared seek state. The parallel
+/// streaming pipeline (PipelineConfig::threads != 1) drives exactly this:
+/// many workers gathering cubes from one shared reader. Construction and
+/// destruction are not concurrent-safe with use, as usual.
 class ChunkReader final : public field::FieldSource {
  public:
+  /// `shards` = 0 picks a shard count automatically: 1 for caches only a
+  /// few chunks deep (preserving strict global LRU behavior), up to 16 as
+  /// the cache-to-chunk ratio grows. Explicit values round up to the next
+  /// power of two.
   explicit ChunkReader(const std::string& path,
-                       std::size_t cache_bytes = 64ull << 20);
+                       std::size_t cache_bytes = 64ull << 20,
+                       std::size_t shards = 0);
+  ~ChunkReader() override;
+
+  ChunkReader(const ChunkReader&) = delete;
+  ChunkReader& operator=(const ChunkReader&) = delete;
 
   // FieldSource interface.
   [[nodiscard]] const field::GridShape& shape() const noexcept override {
@@ -114,7 +131,12 @@ class ChunkReader final : public field::FieldSource {
     std::size_t evictions = 0;
     std::size_t resident_bytes = 0;
   };
-  [[nodiscard]] CacheStats cache_stats() const noexcept { return stats_; }
+  /// Aggregated over all shards (locks each shard briefly).
+  [[nodiscard]] CacheStats cache_stats() const;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shard_count_;
+  }
 
  private:
   struct BlockRef {
@@ -125,9 +147,21 @@ class ChunkReader final : public field::FieldSource {
     std::shared_ptr<const std::vector<double>> values;
     std::list<std::uint64_t>::iterator lru_it;
   };
+  /// One cache shard: independent mutex, LRU list, map, stats, and an
+  /// equal slice of the byte budget. Shard choice is a mask over the block
+  /// key, so consecutive chunk ids land on different shards.
+  struct Shard {
+    std::mutex mu;
+    std::list<std::uint64_t> lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, CacheEntry> map;
+    CacheStats stats;
+  };
+
+  [[nodiscard]] std::vector<std::uint8_t> read_block(const BlockRef& ref)
+      const;
 
   std::string path_;
-  mutable std::ifstream file_;
+  int fd_ = -1;
   ChunkLayout layout_{{1, 1, 1}, {1, 1, 1}};
   double time_ = 0.0;
   std::vector<std::string> names_;
@@ -136,10 +170,9 @@ class ChunkReader final : public field::FieldSource {
   std::string codec_name_;
   std::vector<BlockRef> index_;  ///< [field * layout.count() + chunk]
 
-  std::size_t cache_capacity_;
-  mutable std::list<std::uint64_t> lru_;  ///< front = most recently used
-  mutable std::unordered_map<std::uint64_t, CacheEntry> cache_;
-  mutable CacheStats stats_;
+  std::size_t shard_count_ = 1;
+  std::size_t shard_capacity_ = 0;  ///< byte budget per shard
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace sickle::store

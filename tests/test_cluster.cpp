@@ -47,6 +47,47 @@ TEST(KMeans, LabelsConsistentWithCentroids) {
   }
 }
 
+TEST(KMeans, AssignBatchMatchesPerPointAssign1D) {
+  Rng rng(21);
+  const auto data = three_blobs(rng, 150);
+  KMeansOptions opts;
+  opts.k = 4;
+  const auto result = kmeans(data, data.size(), 1, opts, rng);
+  std::vector<std::uint32_t> labels(data.size());
+  result.assign_batch(data, std::span<std::uint32_t>(labels));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(labels[i], result.assign(std::span<const double>(&data[i], 1)))
+        << "point " << i;
+  }
+}
+
+TEST(KMeans, AssignBatchMatchesPerPointAssignMultiDim) {
+  Rng rng(22);
+  std::vector<double> data(120 * 3);
+  for (double& x : data) x = rng.normal();
+  KMeansOptions opts;
+  opts.k = 5;
+  const auto result = kmeans(data, 120, 3, opts, rng);
+  std::vector<std::uint32_t> labels(120);
+  result.assign_batch(data, std::span<std::uint32_t>(labels));
+  for (std::size_t i = 0; i < 120; ++i) {
+    EXPECT_EQ(labels[i],
+              result.assign(std::span<const double>(data).subspan(i * 3, 3)));
+  }
+}
+
+TEST(KMeans, AssignBatchSizeMismatchThrows) {
+  Rng rng(23);
+  const auto data = three_blobs(rng, 20);
+  KMeansOptions opts;
+  opts.k = 2;
+  const auto result = kmeans(data, data.size(), 1, opts, rng);
+  std::vector<std::uint32_t> labels(data.size() + 1);
+  EXPECT_THROW(
+      result.assign_batch(data, std::span<std::uint32_t>(labels)),
+      CheckError);
+}
+
 TEST(KMeans, SizesSumToN) {
   Rng rng(3);
   const auto data = three_blobs(rng, 50);

@@ -74,6 +74,26 @@ TEST(ConfigDriver, DefaultsWhenSectionsSparse) {
   EXPECT_TRUE(cc.pipeline.input_vars.empty());  // filled from the bundle
 }
 
+TEST(ConfigDriver, ThreadsKnob) {
+  // Default: serial.
+  EXPECT_EQ(pipeline_from_config(Config::parse("shared:\n  seed: 1\n"))
+                .threads,
+            1u);
+  const auto cfg = Config::parse(R"(
+subsample:
+  threads: 4
+)");
+  EXPECT_EQ(pipeline_from_config(cfg).threads, 4u);
+  // 0 = all hardware threads; negatives are config errors.
+  EXPECT_EQ(pipeline_from_config(Config::parse(
+                "subsample:\n  threads: 0\n"))
+                .threads,
+            0u);
+  EXPECT_THROW(pipeline_from_config(Config::parse(
+                   "subsample:\n  threads: -2\n")),
+               RuntimeError);
+}
+
 TEST(ConfigDriver, ArchNormalization) {
   EXPECT_EQ(normalize_arch("lstm"), "LSTM");
   EXPECT_EQ(normalize_arch("LSTM"), "LSTM");

@@ -37,6 +37,42 @@ TEST(ParallelFor, EmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ParallelFor, TaskExceptionsRethrowOnCaller) {
+  // A throwing chunk must surface as a catchable exception on the calling
+  // thread (not std::terminate in a worker). The throwing chunk abandons
+  // its remaining indices; the other chunks still complete before the
+  // rethrow (wait_idle runs first).
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [&](std::size_t i) {
+            ++visited;
+            if (i == 37) throw std::runtime_error("boom");
+          },
+          &pool, 1),
+      std::runtime_error);
+  // All four 25-index chunks started; only [25,50) stopped early, at 37.
+  EXPECT_GE(visited.load(), 76);
+  EXPECT_LT(visited.load(), 100);
+}
+
+TEST(PoolHandle, ResolvesThreadsKnob) {
+  // 1 = serial: no pool at all.
+  EXPECT_EQ(resolve_threads(1).get(), nullptr);
+  // 0 = the process-global pool.
+  EXPECT_EQ(resolve_threads(0).get(), &ThreadPool::global());
+  // N = dedicated pool with exactly N workers, owned by the handle.
+  const PoolHandle h = resolve_threads(3);
+  ASSERT_NE(h.get(), nullptr);
+  EXPECT_NE(h.get(), &ThreadPool::global());
+  EXPECT_EQ(h.get()->size(), 3u);
+  std::atomic<int> count{0};
+  parallel_for(100, [&](std::size_t) { ++count; }, h.get(), 1);
+  EXPECT_EQ(count.load(), 100);
+}
+
 TEST(ParallelForRange, CoversAllIndicesExactlyOnce) {
   std::vector<std::atomic<int>> hits(5000);
   parallel_for_range(hits.size(), [&](std::size_t b, std::size_t e) {

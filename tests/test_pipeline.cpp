@@ -104,6 +104,32 @@ TEST(Pipeline, MergedConcatenatesAllCubes) {
   EXPECT_EQ(merged.features.size(), merged.points() * merged.dims());
 }
 
+/// The shared-memory twin of the SPMD property below: `threads:` changes
+/// wall-clock behavior only. The clustering fit and cube draw consume RNG
+/// before the fan-out, each cube forks its own RNG, and all reductions
+/// run in cube-id order, so every thread count produces the identical
+/// result — samples and energy tallies alike.
+TEST(Pipeline, ThreadCountDoesNotChangeResults) {
+  const auto ds = small_stratified();
+  auto cfg = small_config();
+  cfg.threads = 1;
+  const auto serial = run_pipeline(ds.snapshot(0), cfg);
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    cfg.threads = threads;
+    const auto pooled = run_pipeline(ds.snapshot(0), cfg);
+    ASSERT_EQ(pooled.cubes.size(), serial.cubes.size());
+    for (std::size_t i = 0; i < serial.cubes.size(); ++i) {
+      EXPECT_EQ(pooled.cubes[i].cube_id, serial.cubes[i].cube_id);
+      EXPECT_EQ(pooled.cubes[i].samples.indices,
+                serial.cubes[i].samples.indices);
+      EXPECT_EQ(pooled.cubes[i].samples.features,
+                serial.cubes[i].samples.features);
+    }
+    EXPECT_DOUBLE_EQ(pooled.energy.flops(), serial.energy.flops());
+    EXPECT_DOUBLE_EQ(pooled.energy.bytes(), serial.energy.bytes());
+  }
+}
+
 /// The paper's key parallel property: SPMD runs produce the identical
 /// sample set at any rank count (deterministic counter RNG per cube).
 class PipelineSpmd : public ::testing::TestWithParam<std::size_t> {};

@@ -7,8 +7,11 @@
 #include <set>
 
 #include "common/rng.hpp"
+#include "field/field_source.hpp"
 #include "field/hypercube.hpp"
 #include "flow/spectral_turbulence.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sampling/cube_scoring.hpp"
 #include "sampling/hypercube_selector.hpp"
 #include "sampling/point_samplers.hpp"
 #include "sampling/temporal.hpp"
@@ -398,6 +401,96 @@ TEST(HypercubeSelector, EntropyWeightingAblationRuns) {
   cfg.cluster_var = "cv";
   const auto sel = select_hypercubes(snap, tiling, cfg);
   EXPECT_EQ(sel.size(), 4u);
+}
+
+// ----------------------------------------------------- cube-scoring engine
+
+TEST(CubeScoring, CountsMatchPerPointAssignment) {
+  const auto snap = make_structured_snapshot();
+  const field::SnapshotSource src(snap);
+  const field::CubeTiling tiling(snap.shape(), {8, 8, 8});
+  cluster::KMeansOptions opts;
+  opts.k = 5;
+  Rng rng(3);
+  const auto& cv = snap.get("cv").data();
+  const auto clusters = cluster::minibatch_kmeans(
+      std::span<const double>(cv), cv.size(), 1, opts, rng);
+
+  const auto counts = count_cube_labels(src, tiling, clusters, "cv");
+  ASSERT_EQ(counts.size(), tiling.count() * clusters.k);
+  for (std::size_t c = 0; c < tiling.count(); ++c) {
+    std::vector<std::uint32_t> expected(clusters.k, 0);
+    for (const std::size_t p : tiling.point_indices(tiling.coord(c))) {
+      ++expected[clusters.assign(std::span<const double>(&cv[p], 1))];
+    }
+    for (std::size_t l = 0; l < clusters.k; ++l) {
+      EXPECT_EQ(counts[c * clusters.k + l], expected[l])
+          << "cube " << c << " label " << l;
+    }
+  }
+}
+
+TEST(CubeScoring, ParallelCountsAndStrengthsAreBitExact) {
+  const auto snap = make_structured_snapshot();
+  const field::SnapshotSource src(snap);
+  const field::CubeTiling tiling(snap.shape(), {8, 8, 8});
+  cluster::KMeansOptions opts;
+  opts.k = 6;
+  Rng rng(4);
+  const auto& cv = snap.get("cv").data();
+  const auto clusters = cluster::minibatch_kmeans(
+      std::span<const double>(cv), cv.size(), 1, opts, rng);
+
+  ThreadPool pool(4);
+  const auto serial = count_cube_labels(src, tiling, clusters, "cv");
+  const auto parallel =
+      count_cube_labels(src, tiling, clusters, "cv", &pool);
+  EXPECT_EQ(serial, parallel);
+
+  const auto pmfs = pmfs_from_counts(std::span<const std::uint32_t>(serial),
+                                     clusters.k, tiling.spec().points());
+  const auto s1 = kl_node_strengths(std::span<const double>(pmfs),
+                                    tiling.count(), clusters.k);
+  const auto s4 = kl_node_strengths(std::span<const double>(pmfs),
+                                    tiling.count(), clusters.k, &pool);
+  EXPECT_EQ(s1, s4);  // bitwise: each row is one task
+}
+
+TEST(CubeScoring, SubrangeCountsMatchFullScan) {
+  const auto snap = make_structured_snapshot();
+  const field::SnapshotSource src(snap);
+  const field::CubeTiling tiling(snap.shape(), {8, 8, 8});
+  cluster::KMeansOptions opts;
+  opts.k = 4;
+  Rng rng(5);
+  const auto& cv = snap.get("cv").data();
+  const auto clusters = cluster::minibatch_kmeans(
+      std::span<const double>(cv), cv.size(), 1, opts, rng);
+
+  const auto full = count_cube_labels(src, tiling, clusters, "cv");
+  const std::size_t begin = 2, end = 5;
+  const auto part = count_cube_labels(src, tiling, clusters, "cv",
+                                      /*pool=*/nullptr, begin, end);
+  ASSERT_EQ(part.size(), (end - begin) * clusters.k);
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    EXPECT_EQ(part[i], full[begin * clusters.k + i]);
+  }
+}
+
+TEST(HypercubeSelector, PooledSelectionIsBitExactWithSerial) {
+  const auto snap = make_structured_snapshot();
+  const field::CubeTiling tiling(snap.shape(), {8, 8, 8});
+  for (const char* method : {"maxent", "entropy"}) {
+    HypercubeSelectorConfig cfg;
+    cfg.method = method;
+    cfg.num_hypercubes = 5;
+    cfg.cluster_var = "cv";
+    cfg.seed = 99;
+    const auto serial = select_hypercubes(snap, tiling, cfg);
+    ThreadPool pool(4);
+    cfg.pool = &pool;
+    EXPECT_EQ(select_hypercubes(snap, tiling, cfg), serial) << method;
+  }
 }
 
 TEST(HypercubeSelector, UnknownMethodThrows) {

@@ -154,6 +154,41 @@ TEST(KlAdjacency, DiagonalZeroStrengthsPositive) {
   EXPECT_GT(s[1], s[2]);
 }
 
+TEST(KlRowStrength, MatchesDenseAdjacencyRowSums) {
+  // Flat [n x k] PMFs with zeros, spikes, and uniform rows.
+  const std::size_t n = 5, k = 4;
+  const std::vector<std::vector<double>> rows{
+      {0.25, 0.25, 0.25, 0.25},
+      {1.0, 0.0, 0.0, 0.0},
+      {0.0, 0.5, 0.5, 0.0},
+      {0.1, 0.2, 0.3, 0.4},
+      {0.0, 0.0, 0.0, 1.0}};
+  std::vector<double> flat;
+  for (const auto& r : rows) flat.insert(flat.end(), r.begin(), r.end());
+
+  const auto adjacency =
+      kl_adjacency(std::span<const std::vector<double>>(rows));
+  const auto dense = node_strengths(adjacency, n);
+
+  const auto logs = log_pmf_rows(flat, n, k);
+  ASSERT_EQ(logs.size(), n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double blocked =
+        kl_row_strength(flat, std::span<const double>(logs), n, k, i);
+    // log(p) - log(q) vs log(p/q): same quantity, different rounding.
+    EXPECT_NEAR(blocked, dense[i], 1e-9 * (1.0 + std::abs(dense[i])))
+        << "row " << i;
+  }
+}
+
+TEST(KlRowStrength, InconsistentInputsThrow) {
+  const std::vector<double> flat{0.5, 0.5, 0.1, 0.9};
+  const auto logs = log_pmf_rows(flat, 2, 2);
+  EXPECT_THROW((void)kl_row_strength(flat, logs, 3, 2, 0), CheckError);
+  EXPECT_THROW((void)kl_row_strength(flat, logs, 2, 2, 2), CheckError);
+  EXPECT_THROW((void)log_pmf_rows(flat, 3, 2), CheckError);
+}
+
 TEST(NormalizeWeights, SumsToOne) {
   const std::vector<double> w{1.0, 3.0};
   const auto p = normalize_weights(w);

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <numeric>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -337,6 +338,136 @@ TEST_F(StoreTest, StreamingPipelineMatchesInMemoryExactly) {
   EXPECT_EQ(a.indices, b.indices);
   EXPECT_EQ(a.features, b.features);
   EXPECT_GT(reader.cache_stats().evictions, 0u);
+}
+
+/// Concurrent-gather stress for the sharded cache: many threads hammer one
+/// shared reader with random gathers while a deliberately tiny per-shard
+/// budget forces constant eviction churn. Every value must still match the
+/// source snapshot, and the sanitizer build (SICKLE_SANITIZE=ON) must stay
+/// clean. Runs for explicit shard counts including 1 (single-shard must
+/// also be safe, just slower).
+TEST_F(StoreTest, ConcurrentGathersMatchSnapshotUnderEvictionChurn) {
+  field::Snapshot snap({24, 24, 24}, 0.0);
+  Rng fill(13);
+  for (const char* name : {"u", "v"}) {
+    auto& f = snap.add(name);
+    for (auto& x : f.data()) x = fill.normal();
+  }
+  StoreOptions opts;
+  opts.chunk = {8, 8, 8};
+  opts.codec = "delta";
+  write_store(snap, path("mt.skl2"), opts);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+    // ~3 chunks of budget across all shards: nearly every gather evicts.
+    const ChunkReader reader(path("mt.skl2"),
+                             /*cache_bytes=*/3 * 512 * sizeof(double),
+                             shards);
+    EXPECT_EQ(reader.shard_count(), shards);
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kRounds = 64;
+    std::vector<std::string> failures(kThreads);
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        Rng rng(1000 + t);
+        std::vector<std::size_t> idx(128);
+        for (std::size_t round = 0; round < kRounds; ++round) {
+          const char* var = (round + t) % 2 == 0 ? "u" : "v";
+          for (auto& i : idx) i = rng.uniform_int(snap.shape().size());
+          const auto got =
+              reader.gather(var, std::span<const std::size_t>(idx));
+          const auto& data = snap.get(var).data();
+          for (std::size_t i = 0; i < idx.size(); ++i) {
+            if (got[i] != data[idx[i]]) {
+              failures[t] = "thread " + std::to_string(t) + " round " +
+                            std::to_string(round) + ": mismatch at index " +
+                            std::to_string(idx[i]);
+              return;
+            }
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (const auto& f : failures) EXPECT_EQ(f, "");
+    const auto stats = reader.cache_stats();
+    EXPECT_GT(stats.misses, 0u);
+    EXPECT_GT(stats.evictions, 0u);
+  }
+}
+
+/// The byte budget is strict even when the shard count is absurd relative
+/// to it: shards never retain a chunk their slice cannot hold, so resident
+/// bytes stay bounded by cache_bytes rather than shards * chunk_bytes.
+TEST_F(StoreTest, ShardedCacheNeverExceedsByteBudget) {
+  const auto snap = make_snapshot();
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  write_store(snap, path("b.skl2"), opts);
+  // One 4^3 chunk of budget split across 8 shards.
+  const ChunkReader reader(path("b.skl2"), /*cache_bytes=*/64 * 8,
+                           /*shards=*/8);
+  for (std::size_t f = 0; f < reader.num_fields(); ++f) {
+    for (std::size_t c = 0; c < reader.layout().count(); ++c) {
+      const auto values = reader.chunk(f, c);
+      EXPECT_EQ(values->size(), reader.layout().box(c).points());
+      EXPECT_LE(reader.cache_stats().resident_bytes, 64u * 8u);
+    }
+  }
+}
+
+/// The acceptance bit-exactness test: `threads: N` streaming over ONE
+/// shared sharded reader must reproduce the serial in-memory pipeline
+/// bit-for-bit for lossless codecs, for both the memory and skl2 paths.
+TEST_F(StoreTest, ParallelStreamingIsBitExactWithSerialInMemory) {
+  field::Snapshot snap({16, 16, 16}, 0.0);
+  Rng rng(17);
+  for (const char* name : {"u", "v", "c"}) {
+    auto& f = snap.add(name);
+    std::size_t i = 0;
+    for (auto& x : f.data()) {
+      x = std::sin(0.03 * static_cast<double>(i++)) + 0.2 * rng.normal();
+    }
+  }
+  sampling::PipelineConfig cfg;
+  cfg.cube = {4, 4, 4};
+  cfg.hypercube_method = "maxent";
+  cfg.point_method = "maxent";
+  cfg.num_hypercubes = 8;
+  cfg.num_samples = 12;
+  cfg.num_clusters = 4;
+  cfg.input_vars = {"u", "v"};
+  cfg.output_vars = {"u"};
+  cfg.cluster_var = "c";
+  cfg.threads = 1;
+  const auto serial = run_pipeline(snap, cfg).merged();
+
+  for (const char* codec : {"raw", "delta"}) {
+    StoreOptions opts;
+    opts.chunk = {8, 8, 8};
+    opts.codec = codec;
+    const std::string p = path(std::string("mt_") + codec + ".skl2");
+    write_store(snap, p, opts);
+    // Small cache + explicit shards: workers contend and evict while they
+    // stream.
+    const ChunkReader reader(p, /*cache_bytes=*/16 << 10, /*shards=*/4);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      cfg.threads = threads;
+      const auto streamed =
+          sampling::run_pipeline_streaming(reader, cfg).merged();
+      EXPECT_EQ(streamed.indices, serial.indices)
+          << codec << " threads=" << threads;
+      EXPECT_EQ(streamed.features, serial.features)
+          << codec << " threads=" << threads;
+    }
+    // The memory backend with threads must agree too.
+    cfg.threads = 4;
+    const auto pooled_memory = run_pipeline(snap, cfg).merged();
+    EXPECT_EQ(pooled_memory.indices, serial.indices);
+    EXPECT_EQ(pooled_memory.features, serial.features);
+    cfg.threads = 1;
+  }
 }
 
 /// Lossy stores keep the selection (data-independent methods) and bound
