@@ -6,14 +6,17 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "cluster/kmeans.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "fft/fft.hpp"
 #include "field/field_source.hpp"
 #include "ml/tensor.hpp"
 #include "sampling/cube_scoring.hpp"
+#include "sampling/pipeline.hpp"
 #include "sampling/point_samplers.hpp"
 #include "stats/entropy.hpp"
 #include "stats/histogram.hpp"
@@ -213,6 +216,50 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
 
+/// The ROADMAP multi-core item: on runners with more than one CPU, record
+/// a threads=1 vs threads=N wall-clock row for the full two-phase
+/// sampling pipeline into BENCH_kernels.json, so the first real multi-core
+/// machine that runs the bench captures the `threads:` speedup. Single-CPU
+/// runners (like the 1-core reference container) skip the row — a
+/// "speedup" there would only measure pool overhead.
+void record_pipeline_threads_row(sickle::bench::JsonReport* report) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) {
+    std::printf("pipeline threads row: skipped (1 hardware thread)\n");
+    return;
+  }
+  const auto& fx = CubeScoringFixture::instance();
+  sampling::PipelineConfig cfg;
+  cfg.cube = {8, 8, 8};
+  cfg.hypercube_method = "maxent";
+  cfg.point_method = "maxent";
+  cfg.num_hypercubes = 64;
+  cfg.num_samples = 51;
+  cfg.num_clusters = 8;
+  cfg.input_vars = {"cv"};
+  cfg.cluster_var = "cv";
+
+  auto run_with = [&](std::size_t threads) {
+    cfg.threads = threads;
+    Timer timer;
+    const auto result = run_pipeline(fx.snap, cfg);
+    benchmark::DoNotOptimize(result.cubes.data());
+    return timer.seconds();
+  };
+  (void)run_with(1);  // warm-up: fault in the fixture and code paths
+  const double serial_seconds = run_with(1);
+  const double pooled_seconds = run_with(0);  // 0 = all hardware threads
+  report->add("pipeline_threads_scaling",
+              {{"threads_1_seconds", serial_seconds},
+               {"threads_n_seconds", pooled_seconds},
+               {"threads_n", static_cast<double>(hw)},
+               {"speedup", serial_seconds / pooled_seconds}});
+  std::printf("pipeline threads row: 1 thread %.3fs, %u threads %.3fs "
+              "(%.2fx)\n",
+              serial_seconds, hw, pooled_seconds,
+              serial_seconds / pooled_seconds);
+}
+
 /// Console output as usual, plus every non-aggregate run collected into a
 /// bench::JsonReport (ns/op, items/s, bytes/s, thread count).
 class JsonCollectingReporter : public benchmark::ConsoleReporter {
@@ -268,6 +315,7 @@ int main(int argc, char** argv) {
   sickle::bench::JsonReport report("bench_kernels");
   JsonCollectingReporter reporter(&report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  record_pipeline_threads_row(&report);
   report.write(json_path);
   benchmark::Shutdown();
   return 0;

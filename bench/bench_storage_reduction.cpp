@@ -8,7 +8,10 @@
 //   2. Streaming equivalence: MaxEnt two-phase sampling driven through a
 //      ChunkReader (out-of-core) must reproduce the in-memory sample set
 //      exactly on a lossless codec.
-//   3. The original sampled-subset table: on-disk byte ratios of
+//   3. SKL3 series mode: one multi-snapshot container vs N single-
+//      snapshot SKL2 files — header/index amortization and streaming
+//      append throughput.
+//   4. The original sampled-subset table: on-disk byte ratios of
 //      MaxEnt subsets at several sampling rates.
 #include <algorithm>
 #include <cmath>
@@ -20,6 +23,7 @@
 #include "io/snapshot_io.hpp"
 #include "sampling/pipeline.hpp"
 #include "sickle/dataset_zoo.hpp"
+#include "store/series_store.hpp"
 #include "store/snapshot_store.hpp"
 
 using namespace sickle;
@@ -99,8 +103,8 @@ int main() {
                                   /*cache_bytes=*/4u << 20);
   const auto streamed =
       sampling::run_pipeline_streaming(reader, cfg).merged();
-  const bool match = in_memory.indices == streamed.indices &&
-                     in_memory.features == streamed.features;
+  bool match = in_memory.indices == streamed.indices &&
+               in_memory.features == streamed.features;
   const auto cache = reader.cache_stats();
   std::printf("\nstreaming sampling over ChunkReader (4 MB cache, "
               "%zu hits / %zu misses / %zu evictions): %s\n",
@@ -108,7 +112,72 @@ int main() {
               match ? "matches in-memory sample set exactly"
                     : "MISMATCH vs in-memory sample set");
 
-  // --- 3. Sampled-subset byte ratios (the original experiment) -------------
+  // --- 3. SKL3 series vs N SKL2 files: amortization + append throughput ----
+  std::printf("\nSKL3 series container vs per-snapshot SKL2 files "
+              "(%zu snapshots, delta codec):\n",
+              bundle.data.num_snapshots());
+  bench::row_header({"container", "bytes", "meta bytes", "append MB/s",
+                     "peak buf KB"});
+  store::StoreOptions series_opts;
+  series_opts.chunk = {16, 16, 16};
+  series_opts.codec = "delta";
+  {
+    // Per-snapshot SKL2 baseline: every file pays its own header + index.
+    std::size_t skl2_bytes = 0, skl2_meta = 0;
+    Timer skl2_timer;
+    for (std::size_t t = 0; t < bundle.data.num_snapshots(); ++t) {
+      const auto rep = store::write_store(
+          bundle.data.snapshot(t),
+          (dir / ("series_" + std::to_string(t) + ".skl2")).string(),
+          series_opts);
+      skl2_bytes += rep.file_bytes;
+      skl2_meta += rep.file_bytes - rep.payload_bytes;
+    }
+    const double skl2_seconds = skl2_timer.seconds();
+    const double series_raw_mb =
+        static_cast<double>(bundle.data.bytes()) / (1024.0 * 1024.0);
+    std::printf("%-22s%-22zu%-22zu%-22.0f%-22s\n", "N x SKL2", skl2_bytes,
+                skl2_meta, series_raw_mb / skl2_seconds, "-");
+
+    // One streaming SKL3: one header, one index, bounded writer memory.
+    Timer skl3_timer;
+    store::SeriesWriter writer((dir / "series.skl3").string(), series_opts);
+    for (std::size_t t = 0; t < bundle.data.num_snapshots(); ++t) {
+      writer.append(bundle.data.snapshot(t));
+    }
+    const auto rep = writer.close();
+    const double skl3_seconds = skl3_timer.seconds();
+    std::printf("%-22s%-22zu%-22zu%-22.0f%-22zu\n", "1 x SKL3",
+                rep.file_bytes, rep.meta_bytes,
+                series_raw_mb / skl3_seconds,
+                rep.peak_buffered_bytes >> 10);
+    std::printf("meta amortization: %zu -> %zu header/index bytes "
+                "(%zu saved; the per-chunk index is irreducible, the "
+                "per-file header is paid once), 1 file instead of %zu\n",
+                skl2_meta, rep.meta_bytes, skl2_meta - rep.meta_bytes,
+                bundle.data.num_snapshots());
+
+    // Self-check: streamed multi-snapshot sampling over the series
+    // container matches the in-memory dataset pipeline exactly.
+    const store::SeriesReader series_reader((dir / "series.skl3").string(),
+                                            /*cache_bytes=*/4u << 20);
+    std::vector<std::size_t> all(series_reader.num_snapshots());
+    for (std::size_t t = 0; t < all.size(); ++t) all[t] = t;
+    const auto series_streamed =
+        sampling::run_pipeline_streaming(
+            series_reader, cfg, std::span<const std::size_t>(all))
+            .merged();
+    const auto series_memory = run_pipeline(bundle.data, cfg).merged();
+    const bool series_match =
+        series_memory.indices == series_streamed.indices &&
+        series_memory.features == series_streamed.features;
+    match = match && series_match;
+    std::printf("series streaming sampling: %s\n",
+                series_match ? "matches in-memory dataset pipeline exactly"
+                             : "MISMATCH vs in-memory dataset pipeline");
+  }
+
+  // --- 4. Sampled-subset byte ratios (the original experiment) -------------
   std::printf("\nMaxEnt sampled subsets vs the dense file:\n");
   bench::row_header({"rate", "points", "bytes", "reduction"});
   for (const double rate : {0.01, 0.05, 0.10, 0.20}) {

@@ -10,6 +10,13 @@ void SnapshotSource::gather(const std::string& var,
   for (std::size_t i = 0; i < idx.size(); ++i) out[i] = data[idx[i]];
 }
 
+DatasetSeriesSource::DatasetSeriesSource(const Dataset& data) {
+  views_.reserve(data.num_snapshots());
+  for (std::size_t t = 0; t < data.num_snapshots(); ++t) {
+    views_.emplace_back(data.snapshot(t));
+  }
+}
+
 Hypercube extract_cube(const FieldSource& src, const CubeTiling& tiling,
                        const CubeCoord& c, std::span<const std::string> vars) {
   Hypercube cube;

@@ -66,6 +66,31 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+void TaskGroup::run(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    ++pending_;
+  }
+  try {
+    pool_.submit([this, task = std::move(task)] {
+      task();
+      std::lock_guard lock(mu_);
+      if (--pending_ == 0) cv_.notify_all();
+    });
+  } catch (...) {
+    // submit() itself threw (stopped pool, allocation failure): the task
+    // never reached the queue, so un-count it or wait() would hang.
+    std::lock_guard lock(mu_);
+    --pending_;
+    throw;
+  }
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
 PoolHandle resolve_threads(std::size_t threads) {
   PoolHandle h;
   if (threads == 1) return h;  // serial: pool_ stays null
@@ -105,28 +130,26 @@ void parallel_for_range(
   // Pool tasks must not throw (they would terminate the worker thread);
   // capture the first chunk's exception and rethrow it on the calling
   // thread, so parallel loops fail the same catchable way serial ones do.
+  // Completion is a per-call TaskGroup, not pool-wide wait_idle, so
+  // concurrent parallel_for calls sharing one pool never wait on each
+  // other's tasks — and the group destructor drains this call's chunks
+  // even when submit() itself throws mid-loop (captured locals must
+  // outlive the workers running them).
   std::mutex err_mu;
   std::exception_ptr error;
-  try {
-    for (std::size_t b = 0; b < n; b += step) {
-      const std::size_t e = std::min(n, b + step);
-      pool->submit([&fn, &err_mu, &error, b, e] {
-        try {
-          fn(b, e);
-        } catch (...) {
-          std::lock_guard lock(err_mu);
-          if (!error) error = std::current_exception();
-        }
-      });
-    }
-  } catch (...) {
-    // submit() itself threw (stopped pool, allocation failure): drain the
-    // chunks already queued before unwinding, or workers would run tasks
-    // whose captured locals died with this frame.
-    pool->wait_idle();
-    throw;
+  TaskGroup group(*pool);
+  for (std::size_t b = 0; b < n; b += step) {
+    const std::size_t e = std::min(n, b + step);
+    group.run([&fn, &err_mu, &error, b, e] {
+      try {
+        fn(b, e);
+      } catch (...) {
+        std::lock_guard lock(err_mu);
+        if (!error) error = std::current_exception();
+      }
+    });
   }
-  pool->wait_idle();
+  group.wait();
   if (error) std::rethrow_exception(error);
 }
 

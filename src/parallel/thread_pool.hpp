@@ -29,7 +29,9 @@ class ThreadPool {
   /// Enqueue a task. Tasks must not throw (they run detached from callers).
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have finished.
+  /// Block until all submitted tasks have finished — every task from
+  /// every submitter. Prefer TaskGroup for per-call completion: wait_idle
+  /// couples concurrent users of a shared pool to each other's work.
   void wait_idle();
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
@@ -48,6 +50,34 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+};
+
+/// Per-call completion tracking on a shared pool: a latch over exactly
+/// the tasks submitted through this group. Two TaskGroups on the same
+/// pool are independent — wait() returns when *this group's* tasks are
+/// done, even while other submitters' tasks are still in flight (the
+/// `wait_idle` coupling parallel_for used to have). The destructor waits,
+/// so a group can never abandon tasks that reference a dead stack frame.
+/// Tasks must not throw (same contract as ThreadPool::submit).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) noexcept : pool_(pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submit one task tracked by this group.
+  void run(std::function<void()> task);
+
+  /// Block until every task run() through this group has finished.
+  void wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
 };
 
 /// Owning resolution of a `threads:` config knob onto a pool:

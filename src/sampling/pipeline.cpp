@@ -165,20 +165,29 @@ PipelineResult run_pipeline_streaming(const field::FieldSource& src,
   return run_over_source(src, cfg, snapshot_index, pool);
 }
 
-PipelineResult run_pipeline(const field::Dataset& dataset,
-                            const PipelineConfig& cfg) {
+PipelineResult run_pipeline_streaming(const field::SeriesSource& series,
+                                      const PipelineConfig& cfg,
+                                      std::span<const std::size_t> snapshots) {
   PipelineResult result;
   Timer timer;
   const PoolHandle pool = resolve_threads(cfg.threads);
-  for (std::size_t t = 0; t < dataset.num_snapshots(); ++t) {
-    auto r = run_over_source(field::SnapshotSource(dataset.snapshot(t)),
-                             cfg, t, pool.get());
+  for (const std::size_t t : snapshots) {
+    SICKLE_CHECK(t < series.num_snapshots());
+    auto r = run_over_source(series.source(t), cfg, t, pool.get());
     result.energy.merge(r.energy);
     std::move(r.cubes.begin(), r.cubes.end(),
               std::back_inserter(result.cubes));
   }
   result.sampling_seconds = timer.seconds();
   return result;
+}
+
+PipelineResult run_pipeline(const field::Dataset& dataset,
+                            const PipelineConfig& cfg) {
+  std::vector<std::size_t> all(dataset.num_snapshots());
+  for (std::size_t t = 0; t < all.size(); ++t) all[t] = t;
+  return run_pipeline_streaming(field::DatasetSeriesSource(dataset), cfg,
+                                std::span<const std::size_t>(all));
 }
 
 PipelineResult run_pipeline(const field::Snapshot& snap,

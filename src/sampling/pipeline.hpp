@@ -89,10 +89,23 @@ struct PipelineResult {
     const field::FieldSource& src, const PipelineConfig& cfg,
     std::size_t snapshot_index, ThreadPool* pool);
 
+/// Pipeline over the `snapshots` subset of any time-ordered series — the
+/// entry point the staged case orchestrator and temporal selection feed.
+/// Each listed snapshot keeps its original index t for seed offsets and
+/// RNG forks, so sampling a subset returns exactly those snapshots'
+/// contributions of a full run. One pool is resolved from cfg.threads for
+/// the whole call. With a store::SeriesReader as the series this is the
+/// fully out-of-core multi-snapshot path (memory bounded by the reader's
+/// shared block cache).
+[[nodiscard]] PipelineResult run_pipeline_streaming(
+    const field::SeriesSource& series, const PipelineConfig& cfg,
+    std::span<const std::size_t> snapshots);
+
 /// Pipeline over every snapshot of a dataset. Snapshots are processed in
 /// order; within each snapshot, cube scoring and point sampling honor
 /// cfg.threads (one pool resolved for the whole run). Results are
-/// independent of the thread count.
+/// independent of the thread count. Delegates to the SeriesSource
+/// overload, so in-memory and streamed runs share one implementation.
 [[nodiscard]] PipelineResult run_pipeline(const field::Dataset& dataset,
                                           const PipelineConfig& cfg);
 

@@ -4,46 +4,48 @@
 #include <limits>
 
 #include "common/error.hpp"
-#include "common/mathx.hpp"
 #include "stats/entropy.hpp"
 #include "stats/histogram.hpp"
 
 namespace sickle::sampling {
 
-namespace {
-
-/// Shared-range PMFs: all snapshots binned over the global min/max so JS
-/// distances are comparable.
-std::vector<std::vector<double>> snapshot_pmfs(const field::Dataset& dataset,
-                                               const TemporalConfig& cfg) {
-  SICKLE_CHECK_MSG(dataset.num_snapshots() > 0, "empty dataset");
+std::vector<std::vector<double>> snapshot_pmfs(
+    const field::SeriesSource& series, const TemporalConfig& cfg) {
+  const std::size_t n = series.num_snapshots();
+  SICKLE_CHECK_MSG(n > 0, "empty series");
+  // Pass 1: global range, so JS distances are comparable across
+  // snapshots.
   double lo = std::numeric_limits<double>::infinity();
   double hi = -std::numeric_limits<double>::infinity();
-  for (std::size_t t = 0; t < dataset.num_snapshots(); ++t) {
-    const auto [l, h] =
-        min_max(dataset.snapshot(t).get(cfg.variable).data());
-    lo = std::min(lo, l);
-    hi = std::max(hi, h);
+  for (std::size_t t = 0; t < n; ++t) {
+    field::for_each_flat_batch(series.source(t), cfg.variable,
+                               [&](std::span<const double> vals) {
+                                 for (const double x : vals) {
+                                   lo = std::min(lo, x);
+                                   hi = std::max(hi, x);
+                                 }
+                               });
   }
   if (!(hi > lo)) {
     lo -= 0.5;
     hi += 0.5;
   }
+  // Pass 2: per-snapshot histograms over the shared range.
   std::vector<std::vector<double>> pmfs;
-  pmfs.reserve(dataset.num_snapshots());
-  for (std::size_t t = 0; t < dataset.num_snapshots(); ++t) {
+  pmfs.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
     stats::Histogram h(lo, hi, cfg.bins);
-    h.add(dataset.snapshot(t).get(cfg.variable).data());
+    field::for_each_flat_batch(
+        series.source(t), cfg.variable,
+        [&](std::span<const double> vals) { h.add(vals); });
     pmfs.push_back(h.pmf());
   }
   return pmfs;
 }
 
-}  // namespace
-
-std::vector<std::size_t> select_snapshots(const field::Dataset& dataset,
+std::vector<std::size_t> select_snapshots(const field::SeriesSource& series,
                                           const TemporalConfig& cfg) {
-  const auto pmfs = snapshot_pmfs(dataset, cfg);
+  const auto pmfs = snapshot_pmfs(series, cfg);
   const std::size_t n = pmfs.size();
   const std::size_t k = std::min(cfg.num_snapshots, n);
 
@@ -81,10 +83,15 @@ std::vector<std::size_t> select_snapshots(const field::Dataset& dataset,
   return selected;
 }
 
-std::vector<double> snapshot_novelty(const field::Dataset& dataset,
+std::vector<std::size_t> select_snapshots(const field::Dataset& dataset,
+                                          const TemporalConfig& cfg) {
+  return select_snapshots(field::DatasetSeriesSource(dataset), cfg);
+}
+
+std::vector<double> snapshot_novelty(const field::SeriesSource& series,
                                      const TemporalConfig& cfg,
                                      std::size_t reference) {
-  const auto pmfs = snapshot_pmfs(dataset, cfg);
+  const auto pmfs = snapshot_pmfs(series, cfg);
   SICKLE_CHECK(reference < pmfs.size());
   std::vector<double> out;
   out.reserve(pmfs.size());
@@ -93,6 +100,13 @@ std::vector<double> snapshot_novelty(const field::Dataset& dataset,
                                        std::span<const double>(pmfs[reference])));
   }
   return out;
+}
+
+std::vector<double> snapshot_novelty(const field::Dataset& dataset,
+                                     const TemporalConfig& cfg,
+                                     std::size_t reference) {
+  return snapshot_novelty(field::DatasetSeriesSource(dataset), cfg,
+                          reference);
 }
 
 }  // namespace sickle::sampling

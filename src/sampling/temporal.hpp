@@ -6,13 +6,22 @@
 /// temporal sampler scores each snapshot's input PDF against the already
 /// selected set and keeps only snapshots that expand coverage:
 /// greedy max-min Jensen–Shannon selection.
+///
+/// Selection runs over any field::SeriesSource — an in-memory Dataset or
+/// a chunked on-disk store::SeriesReader — through one shared histogram
+/// kernel, so the streamed and in-memory paths return bit-identical
+/// snapshot indices for equal data (the Dataset overloads are thin
+/// adapters). Memory is O(bins * snapshots) plus one gather batch, never
+/// the grid.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "field/field.hpp"
+#include "field/field_source.hpp"
 
 namespace sickle::sampling {
 
@@ -22,14 +31,30 @@ struct TemporalConfig {
   std::size_t bins = 100;
 };
 
+/// Shared-range per-snapshot PMFs of cfg.variable: all snapshots binned
+/// over the global min/max so JS distances are comparable. Streams each
+/// snapshot in flat-order gather batches (two passes: range, then bins) —
+/// the single histogram kernel behind every select_snapshots overload.
+[[nodiscard]] std::vector<std::vector<double>> snapshot_pmfs(
+    const field::SeriesSource& series, const TemporalConfig& cfg);
+
 /// Greedy selection: start from the first snapshot, repeatedly add the
 /// snapshot whose PDF is farthest (min-JS over selected) from the current
 /// set. Returns selected snapshot indices in selection order.
+[[nodiscard]] std::vector<std::size_t> select_snapshots(
+    const field::SeriesSource& series, const TemporalConfig& cfg);
+
+/// In-memory adapter: identical indices to the SeriesSource overload on
+/// equal data (it delegates through field::DatasetSeriesSource).
 [[nodiscard]] std::vector<std::size_t> select_snapshots(
     const field::Dataset& dataset, const TemporalConfig& cfg);
 
 /// Per-snapshot novelty scores against a fixed reference snapshot's PDF
 /// (exposed for diagnostics and tests).
+[[nodiscard]] std::vector<double> snapshot_novelty(
+    const field::SeriesSource& series, const TemporalConfig& cfg,
+    std::size_t reference = 0);
+
 [[nodiscard]] std::vector<double> snapshot_novelty(
     const field::Dataset& dataset, const TemporalConfig& cfg,
     std::size_t reference = 0);

@@ -1,16 +1,41 @@
 /// @file case.hpp
 /// @brief Case runner: subsample -> train -> evaluate, the paper's
 /// T1 -> T2 -> T3 workflow driven by one config.
+///
+/// run_case is a staged streaming orchestrator: (A) ingest the dataset as
+/// a field::SeriesSource — in RAM, spilled to per-snapshot SKL2 stores,
+/// or appended to one streaming SKL3 series container — then (B) optional
+/// temporal snapshot selection over streamed per-snapshot PDFs, (C)
+/// two-phase sampling per selected snapshot with accepted points written
+/// straight into the training-set builder (no second pass over the raw
+/// data), and (D) training. All backends run the same stages, so sample
+/// sets are bit-identical across memory/skl2/series for lossless codecs.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "ml/trainer.hpp"
 #include "sampling/pipeline.hpp"
+#include "sampling/temporal.hpp"
 #include "sickle/dataset_zoo.hpp"
 #include "store/snapshot_store.hpp"
 
 namespace sickle {
+
+/// Optional temporal snapshot selection stage (paper §4.3): keep only the
+/// greedy max-min JS subset of snapshots before sampling and training.
+struct TemporalSelection {
+  /// Snapshots to keep; 0 disables the stage (all snapshots are used).
+  std::size_t num_snapshots = 0;
+  /// PDF variable; empty falls back to the pipeline's cluster_var, then
+  /// its first input variable.
+  std::string variable;
+  std::size_t bins = 100;
+
+  [[nodiscard]] bool enabled() const noexcept { return num_snapshots > 0; }
+};
 
 struct CaseConfig {
   sampling::PipelineConfig pipeline;
@@ -21,21 +46,33 @@ struct CaseConfig {
   std::size_t model_dim = 32;
   std::size_t model_heads = 4;
   std::size_t model_layers = 1;
-  /// Sampling backend: "memory" runs the in-RAM pipeline; "skl2" spills
-  /// each snapshot to a chunked compressed store and samples out-of-core
-  /// through a ChunkReader (identical samples for lossless codecs). With
-  /// pipeline.threads != 1 the skl2 path drives one shared sharded reader
-  /// from all sampling workers.
+  /// Sampling backend: "memory" runs the staged pipeline over the in-RAM
+  /// dataset; "skl2" spills each snapshot to its own chunked compressed
+  /// store; "series" streams every snapshot into one SKL3 container
+  /// (amortized header/index, shared block cache) and runs selection +
+  /// sampling + training-set build out-of-core. Sample sets are identical
+  /// across backends for lossless codecs, at any pipeline.threads value.
   std::string backend = "memory";
-  store::StoreOptions store;  ///< chunking/codec knobs for the skl2 backend
+  store::StoreOptions store;  ///< chunking/codec knobs for spill backends
+  /// Where spill backends place their temporary stores; empty = the
+  /// system temp directory. The spill is removed once the training set is
+  /// built; on failure it is kept and its path logged to stderr.
+  std::string spill_dir;
+  TemporalSelection temporal;  ///< optional snapshot-subset stage
 };
 
 struct CaseReport {
   std::size_t sampled_points = 0;
+  /// Wall time of the T1 stages: spill/ingest (skl2/series), temporal
+  /// selection, and the per-snapshot sampling pipeline. Training-set
+  /// tensor construction and scaler fitting are T2 cost and excluded.
   double sampling_seconds = 0.0;
   double sampling_kilojoules = 0.0;
-  /// Compressed on-disk bytes of the spilled snapshots (skl2 backend only).
+  /// Compressed on-disk bytes of the spilled store(s) (skl2/series only).
   std::size_t store_bytes = 0;
+  /// Snapshot indices the temporal stage kept, ascending; empty when the
+  /// stage is disabled (all snapshots were used).
+  std::vector<std::size_t> selected_snapshots;
   ml::TrainReport train;
   double training_kilojoules = 0.0;
 

@@ -76,6 +76,7 @@ store::StoreOptions store_options_from_config(const Config& cfg) {
   const long cy = cfg.get_int("store", "chunk_y", edge);
   const long cz = cfg.get_int("store", "chunk_z", edge);
   const long cache_mb = cfg.get_int("store", "cache_mb", 64);
+  const long budget_mb = cfg.get_int("store", "write_budget_mb", 8);
   // Fail at config time, not at the first mid-run snapshot spill.
   if (cx <= 0 || cy <= 0 || cz <= 0) {
     throw RuntimeError("store chunk edges must be positive");
@@ -83,24 +84,43 @@ store::StoreOptions store_options_from_config(const Config& cfg) {
   if (cache_mb <= 0) {
     throw RuntimeError("store cache_mb must be positive");
   }
+  if (budget_mb <= 0) {
+    throw RuntimeError("store write_budget_mb must be positive");
+  }
   opts.chunk.nx = static_cast<std::size_t>(cx);
   opts.chunk.ny = static_cast<std::size_t>(cy);
   opts.chunk.nz = static_cast<std::size_t>(cz);
   opts.codec = lower(cfg.get_str("store", "codec", "delta"));
   opts.tolerance = cfg.get_double("store", "tolerance", 1e-6);
   opts.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  opts.write_budget_bytes = static_cast<std::size_t>(budget_mb) << 20;
   (void)store::make_codec(opts.codec, opts.tolerance);  // validates the name
   return opts;
+}
+
+TemporalSelection temporal_from_config(const Config& cfg) {
+  TemporalSelection ts;
+  const long keep = cfg.get_int("temporal", "num_snapshots", 0);
+  const long bins = cfg.get_int("temporal", "bins", 100);
+  if (keep < 0) throw RuntimeError("temporal num_snapshots must be >= 0");
+  if (bins <= 0) throw RuntimeError("temporal bins must be positive");
+  ts.num_snapshots = static_cast<std::size_t>(keep);
+  ts.variable = cfg.get_str("temporal", "variable", "");
+  ts.bins = static_cast<std::size_t>(bins);
+  return ts;
 }
 
 CaseConfig case_from_config(const Config& cfg) {
   CaseConfig cc;
   cc.pipeline = pipeline_from_config(cfg);
   cc.backend = lower(cfg.get_str("store", "backend", "memory"));
-  if (cc.backend != "memory" && cc.backend != "skl2") {
+  if (cc.backend != "memory" && cc.backend != "skl2" &&
+      cc.backend != "series") {
     throw RuntimeError("unknown store backend: " + cc.backend);
   }
   cc.store = store_options_from_config(cfg);
+  cc.spill_dir = cfg.get_str("store", "spill_dir", "");
+  cc.temporal = temporal_from_config(cfg);
   cc.arch = normalize_arch(
       cfg.get_str("train", "arch", "MLP_transformer"));
   cc.window = static_cast<std::size_t>(cfg.get_int("train", "window", 1));

@@ -29,15 +29,25 @@ namespace sickle {
 [[nodiscard]] sampling::PipelineConfig pipeline_from_config(
     const Config& cfg);
 
-/// Build the SKL2 store options from the `store` section:
+/// Build the store options from the `store` section:
 ///   store:
-///     backend: skl2        # memory | skl2 (read via case_from_config)
+///     backend: skl2        # memory | skl2 | series (via case_from_config)
 ///     codec: delta         # raw | delta | quant
 ///     tolerance: 1e-6      # quant max abs error
 ///     chunk: 32            # cubic chunk edge; chunk_x/y/z override
 ///     cache_mb: 64         # reader block-cache capacity
+///     write_budget_mb: 8   # SKL3 streaming-writer flush budget
+///     spill_dir: /scratch  # spill placement (CaseConfig::spill_dir)
 [[nodiscard]] store::StoreOptions store_options_from_config(
     const Config& cfg);
+
+/// Build the temporal snapshot-selection stage from the `temporal`
+/// section; absent section (or num_snapshots: 0) disables the stage:
+///   temporal:
+///     num_snapshots: 10    # snapshots to keep (0 = keep all)
+///     variable: T          # PDF variable; default cluster_var
+///     bins: 100
+[[nodiscard]] TemporalSelection temporal_from_config(const Config& cfg);
 
 /// Build the full case (pipeline + training) from all three sections.
 [[nodiscard]] CaseConfig case_from_config(const Config& cfg);

@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "common/error.hpp"
 #include "field/field.hpp"
@@ -97,5 +99,22 @@ class ChunkLayout {
   field::GridShape chunk_;
   std::size_t ncx_ = 1, ncy_ = 1, ncz_ = 1;
 };
+
+/// Copy one chunk's values out of a full field, z-fastest within the box —
+/// the writer-side twin of ChunkLayout::local_offset, shared by the SKL2
+/// and SKL3 writers.
+[[nodiscard]] inline std::vector<double> extract_chunk(
+    std::span<const double> data, const field::GridShape& grid,
+    const ChunkLayout::Box& b) {
+  std::vector<double> vals(b.points());
+  std::size_t k = 0;
+  for (std::size_t ix = b.x0; ix < b.x0 + b.ex; ++ix) {
+    for (std::size_t iy = b.y0; iy < b.y0 + b.ey; ++iy) {
+      const double* row = data.data() + grid.index(ix, iy, b.z0);
+      for (std::size_t iz = 0; iz < b.ez; ++iz) vals[k++] = row[iz];
+    }
+  }
+  return vals;
+}
 
 }  // namespace sickle::store

@@ -1,0 +1,407 @@
+#include "store/series_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sickle::store {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'K', 'L', '3'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_at(std::span<const std::uint8_t> buf, std::size_t& pos,
+          const std::string& path) {
+  if (pos + sizeof(T) > buf.size()) {
+    throw RuntimeError("truncated SKL3 file: " + path);
+  }
+  T v{};
+  std::memcpy(&v, buf.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+/// Cursor over the header region of an SKL3 file: reads a window up
+/// front and grows it on demand, so a header with an arbitrarily large
+/// names section (the writer puts no bound on name lengths) parses
+/// without guessing its size — only a genuinely short file reports
+/// truncation.
+class HeaderCursor {
+ public:
+  HeaderCursor(const ReadOnlyFile& file, std::uint64_t file_size,
+               const std::string& path)
+      : file_(file), file_size_(file_size), path_(path) {
+    buf_ = file_.read(0, std::min<std::uint64_t>(file_size_, 64u << 10));
+  }
+
+  template <typename T>
+  T read() {
+    ensure(sizeof(T));
+    T v{};
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string read_string(std::size_t len) {
+    ensure(len);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  void ensure(std::size_t need) {
+    if (pos_ + need <= buf_.size()) return;
+    if (pos_ + need > file_size_) {
+      throw RuntimeError("truncated SKL3 file: " + path_);
+    }
+    const std::uint64_t want = std::min<std::uint64_t>(
+        file_size_, std::max<std::uint64_t>(2 * buf_.size(), pos_ + need));
+    buf_ = file_.read(0, want);
+  }
+
+  const ReadOnlyFile& file_;
+  std::uint64_t file_size_;
+  const std::string& path_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer
+
+SeriesWriter::SeriesWriter(const std::string& path, const StoreOptions& opts)
+    : path_(path), opts_(opts), codec_(make_codec(opts.codec,
+                                                  opts.tolerance)) {
+  // Open eagerly: an unwritable path must fail at construction, not after
+  // the caller simulated its first snapshot.
+  out_.open(path, std::ios::binary);
+  if (!out_) throw RuntimeError("cannot open for write: " + path);
+}
+
+void SeriesWriter::append(const field::Snapshot& snap) {
+  SICKLE_CHECK_MSG(!closed_, "append() on a closed SeriesWriter");
+  if (layout_ == nullptr) {
+    // First snapshot locks grid, layout, and variable set, and writes the
+    // header with placeholder index fields (patched by close()).
+    layout_ = std::make_unique<ChunkLayout>(snap.shape(), opts_.chunk);
+    names_ = snap.names();
+    SICKLE_CHECK_MSG(!names_.empty(), "cannot store a snapshot with no fields");
+    out_.write(kMagic, 4);
+    write_pod<std::uint32_t>(out_, kVersion);
+    write_pod<std::uint64_t>(out_, snap.shape().nx);
+    write_pod<std::uint64_t>(out_, snap.shape().ny);
+    write_pod<std::uint64_t>(out_, snap.shape().nz);
+    write_pod<std::uint64_t>(out_, layout_->chunk_shape().nx);
+    write_pod<std::uint64_t>(out_, layout_->chunk_shape().ny);
+    write_pod<std::uint64_t>(out_, layout_->chunk_shape().nz);
+    write_pod<std::uint8_t>(out_, static_cast<std::uint8_t>(codec_->id()));
+    write_pod<double>(out_, opts_.tolerance);
+    write_pod<std::uint64_t>(out_, names_.size());
+    for (const auto& name : names_) {
+      write_pod<std::uint32_t>(out_, static_cast<std::uint32_t>(name.size()));
+      out_.write(name.data(), static_cast<std::streamsize>(name.size()));
+    }
+    write_pod<std::uint64_t>(out_, layout_->count());
+    patch_pos_ = static_cast<std::uint64_t>(out_.tellp());
+    write_pod<std::uint64_t>(out_, 0);  // index_offset: 0 = not sealed
+    write_pod<std::uint64_t>(out_, 0);  // num_snapshots
+    if (!out_) throw RuntimeError("error writing: " + path_);
+    report_.meta_bytes = static_cast<std::size_t>(out_.tellp());
+  } else {
+    SICKLE_CHECK_MSG(snap.shape() == layout_->grid(),
+                     "snapshot grid does not match the series");
+    SICKLE_CHECK_MSG(snap.names() == names_,
+                     "snapshot variables do not match the series");
+  }
+
+  const std::size_t nchunks = layout_->count();
+  const std::size_t total = names_.size() * nchunks;
+  times_.push_back(snap.time());
+  report_.raw_bytes += snap.bytes();
+  report_.chunks += total;
+
+  // Stream in waves: encode a raw-size-bounded run of blocks in parallel,
+  // flush it, drop it. Peak writer memory is one wave of encoded blocks
+  // (<= budget + the codec's worst-case expansion) plus codec scratch —
+  // never the snapshot, never the series.
+  const std::size_t budget = std::max<std::size_t>(
+      opts_.write_budget_bytes, layout_->box(0).points() * sizeof(double));
+  Timer encode_timer;
+  std::size_t wave_begin = 0;
+  while (wave_begin < total) {
+    std::size_t wave_end = wave_begin;
+    std::size_t wave_raw = 0;
+    while (wave_end < total) {
+      const std::size_t raw =
+          layout_->box(wave_end % nchunks).points() * sizeof(double);
+      if (wave_end > wave_begin && wave_raw + raw > budget) break;
+      wave_raw += raw;
+      ++wave_end;
+    }
+    std::vector<std::vector<std::uint8_t>> blocks(wave_end - wave_begin);
+    parallel_for(
+        blocks.size(),
+        [&](std::size_t i) {
+          const std::size_t b = wave_begin + i;
+          const auto& data = snap.get(names_[b / nchunks]).data();
+          const auto vals = extract_chunk(data, snap.shape(),
+                                          layout_->box(b % nchunks));
+          blocks[i] = codec_->encode(std::span<const double>(vals));
+        },
+        opts_.pool, /*grain=*/1);
+    std::size_t buffered = 0;
+    for (auto& b : blocks) {
+      index_.push_back(BlockRef{static_cast<std::uint64_t>(out_.tellp()),
+                                b.size()});
+      out_.write(reinterpret_cast<const char*>(b.data()),
+                 static_cast<std::streamsize>(b.size()));
+      buffered += b.size();
+      report_.payload_bytes += b.size();
+    }
+    report_.peak_buffered_bytes =
+        std::max(report_.peak_buffered_bytes, buffered);
+    if (!out_) throw RuntimeError("error writing: " + path_);
+    wave_begin = wave_end;
+  }
+  report_.encode_seconds += encode_timer.seconds();
+}
+
+SeriesWriteReport SeriesWriter::close() {
+  SICKLE_CHECK_MSG(!closed_, "close() on a closed SeriesWriter");
+  SICKLE_CHECK_MSG(!times_.empty(),
+                   "cannot close an SKL3 series with no snapshots");
+  closed_ = true;
+  const std::uint64_t index_offset = static_cast<std::uint64_t>(out_.tellp());
+  const std::size_t nfields = names_.size();
+  const std::size_t nchunks = layout_->count();
+  for (std::size_t t = 0; t < times_.size(); ++t) {
+    write_pod<double>(out_, times_[t]);
+    for (std::size_t b = 0; b < nfields * nchunks; ++b) {
+      const BlockRef& ref = index_[t * nfields * nchunks + b];
+      write_pod<std::uint64_t>(out_, ref.offset);
+      write_pod<std::uint64_t>(out_, ref.bytes);
+    }
+  }
+  const std::uint64_t end = static_cast<std::uint64_t>(out_.tellp());
+  // Seal the container: only now does a reader accept it. A crash before
+  // this point leaves index_offset = 0, which SeriesReader rejects with a
+  // "no index" error instead of reading garbage.
+  out_.seekp(static_cast<std::streamoff>(patch_pos_));
+  write_pod<std::uint64_t>(out_, index_offset);
+  write_pod<std::uint64_t>(out_, static_cast<std::uint64_t>(times_.size()));
+  out_.flush();
+  if (!out_) throw RuntimeError("error writing: " + path_);
+  out_.close();
+  report_.snapshots = times_.size();
+  report_.meta_bytes += static_cast<std::size_t>(end - index_offset);
+  report_.file_bytes =
+      static_cast<std::size_t>(std::filesystem::file_size(path_));
+  return report_;
+}
+
+// ---------------------------------------------------------------- reader
+
+SeriesReader::SeriesReader(const std::string& path, std::size_t cache_bytes,
+                           std::size_t shards) {
+  file_ = std::make_unique<ReadOnlyFile>(path);
+  const auto file_size =
+      static_cast<std::uint64_t>(std::filesystem::file_size(path));
+  // The fixed-size header prefix: magic + version + grid + chunk + codec
+  // + tolerance + nfields.
+  constexpr std::size_t kPrefix = 4 + 4 + 6 * 8 + 1 + 8 + 8;
+  if (file_size < kPrefix) throw RuntimeError("truncated SKL3 file: " + path);
+  HeaderCursor head(*file_, file_size, path);
+  char magic[4];
+  magic[0] = static_cast<char>(head.read<std::uint8_t>());
+  magic[1] = static_cast<char>(head.read<std::uint8_t>());
+  magic[2] = static_cast<char>(head.read<std::uint8_t>());
+  magic[3] = static_cast<char>(head.read<std::uint8_t>());
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw RuntimeError("not an SKL3 series file: " + path);
+  }
+  const auto version = head.read<std::uint32_t>();
+  if (version != kVersion) {
+    throw RuntimeError("unsupported SKL3 version in " + path);
+  }
+  field::GridShape grid;
+  grid.nx = head.read<std::uint64_t>();
+  grid.ny = head.read<std::uint64_t>();
+  grid.nz = head.read<std::uint64_t>();
+  // Bound the extents before any product is formed: corrupt dims must
+  // not overflow grid.size()/layout counts into "plausible" values.
+  SICKLE_CHECK_MSG(grid.nx > 0 && grid.ny > 0 && grid.nz > 0 &&
+                       grid.nx < (1ull << 21) && grid.ny < (1ull << 21) &&
+                       grid.nz < (1ull << 21),
+                   "implausible grid extents in SKL3");
+  field::GridShape chunk;
+  chunk.nx = head.read<std::uint64_t>();
+  chunk.ny = head.read<std::uint64_t>();
+  chunk.nz = head.read<std::uint64_t>();
+  layout_ = ChunkLayout(grid, chunk);
+  const auto codec_id = head.read<std::uint8_t>();
+  const auto tolerance = head.read<double>();
+  codec_ = make_codec(static_cast<CodecId>(codec_id), tolerance);
+  codec_name_ = codec_->name();
+  const auto nfields = head.read<std::uint64_t>();
+  SICKLE_CHECK_MSG(nfields > 0 && nfields < 1024,
+                   "implausible field count in SKL3");
+  names_.reserve(nfields);
+  for (std::uint64_t i = 0; i < nfields; ++i) {
+    const auto len = head.read<std::uint32_t>();
+    // Same corruption guard as SKL2: a bogus length must not trigger a
+    // huge allocation. (The cursor itself only grows to the file size.)
+    SICKLE_CHECK_MSG(len < (1u << 20), "implausible name length in SKL3");
+    std::string name = head.read_string(len);
+    field_index_[name] = i;
+    names_.push_back(std::move(name));
+  }
+  const auto nchunks = head.read<std::uint64_t>();
+  SICKLE_CHECK_MSG(nchunks == layout_.count(),
+                   "SKL3 chunk count does not match its grid/chunk shape");
+  const auto index_offset = head.read<std::uint64_t>();
+  const auto num_snapshots = head.read<std::uint64_t>();
+  if (index_offset == 0 || num_snapshots == 0) {
+    throw RuntimeError(
+        "SKL3 series has no index — the writer was not closed "
+        "(crashed or truncated write): " + path);
+  }
+  SICKLE_CHECK_MSG(num_snapshots < (1u << 24),
+                   "implausible snapshot count in SKL3");
+  // Every index entry occupies 16 bytes in the file, so the entry count
+  // is bounded by file_size/16. Checking with divisions (never products)
+  // keeps a corrupt header from overflowing the arithmetic below into a
+  // small index_bytes that would slip past the bounds check.
+  const std::uint64_t entry_cap = file_size / (2 * sizeof(std::uint64_t));
+  if (nchunks == 0 || nfields > entry_cap / nchunks ||
+      num_snapshots > entry_cap / (nfields * nchunks)) {
+    throw RuntimeError("SKL3 index does not fit the file (corrupt?): " +
+                       path);
+  }
+  const std::uint64_t blocks_per_snap = nfields * nchunks;
+  const std::uint64_t index_bytes =
+      num_snapshots * (sizeof(double) + blocks_per_snap * 2 * sizeof(std::uint64_t));
+  if (index_offset > file_size || index_bytes > file_size - index_offset) {
+    throw RuntimeError("SKL3 index points outside the file (truncated?): " +
+                       path);
+  }
+
+  const auto raw_index = file_->read(index_offset, index_bytes);
+  std::size_t ipos = 0;
+  times_.reserve(num_snapshots);
+  index_.resize(num_snapshots * blocks_per_snap);
+  for (std::uint64_t t = 0; t < num_snapshots; ++t) {
+    times_.push_back(read_at<double>(raw_index, ipos, path));
+    for (std::uint64_t b = 0; b < blocks_per_snap; ++b) {
+      BlockRef& ref = index_[t * blocks_per_snap + b];
+      ref.offset = read_at<std::uint64_t>(raw_index, ipos, path);
+      ref.bytes = read_at<std::uint64_t>(raw_index, ipos, path);
+      // Reject corrupt entries here rather than letting chunk() make an
+      // unchecked (possibly huge) allocation later.
+      if (ref.offset > file_size || ref.bytes > file_size - ref.offset) {
+        throw RuntimeError("SKL3 chunk index points outside the file: " +
+                           path);
+      }
+    }
+  }
+  views_.reserve(num_snapshots);
+  for (std::uint64_t t = 0; t < num_snapshots; ++t) {
+    views_.push_back(SeriesSnapshotView(this, t));
+  }
+
+  const std::size_t chunk_bytes =
+      layout_.chunk_shape().size() * sizeof(double);
+  cache_ = std::make_unique<BlockCache>(cache_bytes, chunk_bytes, shards);
+}
+
+std::shared_ptr<const std::vector<double>> SeriesReader::chunk(
+    std::size_t t, std::size_t field_index, std::size_t chunk_id) const {
+  SICKLE_CHECK(t < times_.size() && field_index < names_.size() &&
+               chunk_id < layout_.count());
+  const std::uint64_t key =
+      (t * names_.size() + field_index) * layout_.count() + chunk_id;
+  return cache_->get(key, [&]() -> BlockCache::Block {
+    const auto block = file_->read(index_[key].offset, index_[key].bytes);
+    return std::make_shared<const std::vector<double>>(
+        codec_->decode(std::span<const std::uint8_t>(block),
+                       layout_.box(chunk_id).points()));
+  });
+}
+
+field::Snapshot SeriesReader::load_snapshot(std::size_t t) const {
+  SICKLE_CHECK(t < times_.size());
+  const auto& grid = layout_.grid();
+  field::Snapshot snap(grid, times_[t]);
+  for (std::size_t f = 0; f < names_.size(); ++f) {
+    std::vector<double> out(grid.size());
+    for (std::size_t c = 0; c < layout_.count(); ++c) {
+      const auto b = layout_.box(c);
+      const auto values = chunk(t, f, c);
+      std::size_t k = 0;
+      for (std::size_t ix = b.x0; ix < b.x0 + b.ex; ++ix) {
+        for (std::size_t iy = b.y0; iy < b.y0 + b.ey; ++iy) {
+          double* row = out.data() + grid.index(ix, iy, b.z0);
+          for (std::size_t iz = 0; iz < b.ez; ++iz) row[iz] = (*values)[k++];
+        }
+      }
+    }
+    snap.add(names_[f], std::move(out));
+  }
+  return snap;
+}
+
+// ------------------------------------------------------------------ view
+
+const field::GridShape& SeriesSnapshotView::shape() const noexcept {
+  return reader_->layout_.grid();
+}
+
+std::vector<std::string> SeriesSnapshotView::variables() const {
+  return reader_->names_;
+}
+
+bool SeriesSnapshotView::has(const std::string& var) const {
+  return reader_->field_index_.count(var) > 0;
+}
+
+double SeriesSnapshotView::time() const noexcept {
+  return reader_->times_[t_];
+}
+
+void SeriesSnapshotView::gather(const std::string& var,
+                                std::span<const std::size_t> idx,
+                                std::span<double> out) const {
+  SICKLE_CHECK(out.size() == idx.size());
+  const auto it = reader_->field_index_.find(var);
+  SICKLE_CHECK_MSG(it != reader_->field_index_.end(),
+                   "unknown field: " + var);
+  const std::size_t f = it->second;
+  const ChunkLayout& layout = reader_->layout_;
+  // Same hot-path memoization as ChunkReader::gather: runs of indices
+  // within one chunk skip the cache lookup entirely.
+  std::size_t last_chunk = layout.count();
+  std::shared_ptr<const std::vector<double>> values;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const std::size_t c = layout.chunk_of(idx[i]);
+    if (c != last_chunk) {
+      values = reader_->chunk(t_, f, c);
+      last_chunk = c;
+    }
+    out[i] = (*values)[layout.local_offset(idx[i])];
+  }
+}
+
+}  // namespace sickle::store

@@ -1,0 +1,215 @@
+/// @file series_store.hpp
+/// @brief SKL3 multi-snapshot series container: streaming writer and a
+/// SeriesSource reader with per-snapshot FieldSource views.
+///
+/// SKL2 (snapshot_store.hpp) stores one snapshot per file, so a T-step
+/// time series pays T headers and T chunk indexes and every consumer must
+/// juggle T paths. SKL3 puts the time axis into the chunk key: one
+/// header, one index, blocks addressed by (snapshot, field, chunk). The
+/// writer is *streaming* — encoded blocks are flushed to disk in waves
+/// bounded by StoreOptions::write_budget_bytes as snapshots are appended,
+/// and the index is written and patched into the header only on close(),
+/// so writer memory stays O(budget + codec scratch + index) no matter how
+/// long the series grows. A file whose writer crashed before close() has
+/// no index and is rejected by SeriesReader with a clear error. Layout
+/// spec: docs/STORE.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "field/field.hpp"
+#include "field/field_source.hpp"
+#include "store/block_cache.hpp"
+#include "store/chunk_layout.hpp"
+#include "store/codec.hpp"
+#include "store/snapshot_store.hpp"
+
+namespace sickle::store {
+
+/// What a SeriesWriter did, returned by close().
+struct SeriesWriteReport {
+  std::size_t file_bytes = 0;     ///< total container size on disk
+  std::size_t payload_bytes = 0;  ///< encoded chunk payload only
+  std::size_t raw_bytes = 0;      ///< snapshots * nfields * points * 8
+  std::size_t chunks = 0;         ///< blocks written
+  std::size_t snapshots = 0;      ///< appended snapshot count
+  /// Header + per-series chunk index bytes — the fixed cost one SKL3
+  /// container amortizes over the whole series (vs one per SKL2 file).
+  std::size_t meta_bytes = 0;
+  /// High-water mark of encoded blocks buffered in memory at any point —
+  /// the streaming guarantee: bounded by write_budget_bytes (plus one
+  /// wave's codec expansion), never by the series size.
+  std::size_t peak_buffered_bytes = 0;
+  double encode_seconds = 0.0;  ///< wall time in chunk extraction + encode
+
+  [[nodiscard]] double compression_ratio() const noexcept {
+    return file_bytes == 0 ? 0.0
+                           : static_cast<double>(raw_bytes) /
+                                 static_cast<double>(file_bytes);
+  }
+};
+
+/// Streaming SKL3 writer: append snapshots one at a time, close() to seal.
+///
+/// The grid shape, variable set, and codec are locked in by the first
+/// append(); later snapshots must match. Encoded blocks are written as
+/// they encode (in raw-size-bounded waves, parallel on opts.pool), so
+/// appending a series much larger than the write budget never grows the
+/// writer's memory. close() writes the per-snapshot time + chunk index
+/// section and patches its offset into the header; a writer destroyed
+/// without close() leaves a file with no index, which SeriesReader
+/// detects and rejects.
+class SeriesWriter {
+ public:
+  SeriesWriter(const std::string& path, const StoreOptions& opts = {});
+  ~SeriesWriter() = default;
+
+  SeriesWriter(const SeriesWriter&) = delete;
+  SeriesWriter& operator=(const SeriesWriter&) = delete;
+
+  /// Encode and stream one snapshot's blocks to disk. Throws RuntimeError
+  /// on I/O failure and CheckError on shape/variable mismatch or append
+  /// after close.
+  void append(const field::Snapshot& snap);
+
+  /// Write the index, patch the header, flush, and return the report.
+  /// Requires at least one appended snapshot.
+  SeriesWriteReport close();
+
+  [[nodiscard]] std::size_t snapshots_appended() const noexcept {
+    return times_.size();
+  }
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  struct BlockRef {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  std::string path_;
+  StoreOptions opts_;
+  std::ofstream out_;
+  std::unique_ptr<Codec> codec_;
+  std::unique_ptr<ChunkLayout> layout_;  ///< set by the first append
+  std::vector<std::string> names_;
+  std::uint64_t patch_pos_ = 0;  ///< header position of index_offset
+  std::vector<double> times_;    ///< one per appended snapshot
+  std::vector<BlockRef> index_;  ///< [(t * nfields + f) * nchunks + c]
+  SeriesWriteReport report_;
+  bool closed_ = false;
+};
+
+class SeriesReader;
+
+/// Lightweight FieldSource view of one snapshot inside an SKL3 container.
+/// Borrowed from SeriesReader; shares its block cache and file handle.
+class SeriesSnapshotView final : public field::FieldSource {
+ public:
+  [[nodiscard]] const field::GridShape& shape() const noexcept override;
+  [[nodiscard]] std::vector<std::string> variables() const override;
+  [[nodiscard]] bool has(const std::string& var) const override;
+  void gather(const std::string& var, std::span<const std::size_t> idx,
+              std::span<double> out) const override;
+  using field::FieldSource::gather;
+  [[nodiscard]] double time() const noexcept override;
+
+  [[nodiscard]] std::size_t snapshot_index() const noexcept { return t_; }
+
+ private:
+  friend class SeriesReader;
+  SeriesSnapshotView(const SeriesReader* reader, std::size_t t) noexcept
+      : reader_(reader), t_(t) {}
+
+  const SeriesReader* reader_;
+  std::size_t t_;
+};
+
+/// Streaming reader over an SKL3 series container.
+///
+/// Implements field::SeriesSource: source(t) exposes snapshot t as a
+/// FieldSource view, so the sampling pipeline, temporal selection, and
+/// the case orchestrator run over a series on disk exactly as over an
+/// in-memory Dataset. All views share one sharded byte-bounded LRU block
+/// cache (store::BlockCache) and one pread(2) descriptor, so the whole
+/// series streams in O(cache) memory and any number of threads may
+/// gather from any mix of snapshots concurrently — the same contract as
+/// ChunkReader, now with a time axis.
+class SeriesReader final : public field::SeriesSource {
+ public:
+  explicit SeriesReader(const std::string& path,
+                        std::size_t cache_bytes = 64ull << 20,
+                        std::size_t shards = 0);
+
+  SeriesReader(const SeriesReader&) = delete;
+  SeriesReader& operator=(const SeriesReader&) = delete;
+
+  // SeriesSource interface.
+  [[nodiscard]] std::size_t num_snapshots() const override {
+    return times_.size();
+  }
+  [[nodiscard]] const field::FieldSource& source(
+      std::size_t t) const override {
+    SICKLE_CHECK(t < views_.size());
+    return views_[t];
+  }
+  [[nodiscard]] double time(std::size_t t) const override {
+    SICKLE_CHECK(t < times_.size());
+    return times_[t];
+  }
+
+  [[nodiscard]] const field::GridShape& shape() const noexcept {
+    return layout_.grid();
+  }
+  [[nodiscard]] const ChunkLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] std::vector<std::string> variables() const {
+    return names_;
+  }
+  [[nodiscard]] const std::string& codec_name() const noexcept {
+    return codec_name_;
+  }
+  [[nodiscard]] std::size_t num_fields() const noexcept {
+    return names_.size();
+  }
+
+  /// Decoded values of one chunk of one field of one snapshot, z-fastest
+  /// within the chunk. Valid after eviction (shared ownership).
+  [[nodiscard]] std::shared_ptr<const std::vector<double>> chunk(
+      std::size_t t, std::size_t field_index, std::size_t chunk_id) const;
+
+  /// Materialize one snapshot — for tests and small grids.
+  [[nodiscard]] field::Snapshot load_snapshot(std::size_t t) const;
+
+  using CacheStats = store::CacheStats;
+  [[nodiscard]] CacheStats cache_stats() const { return cache_->stats(); }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return cache_->shard_count();
+  }
+
+ private:
+  friend class SeriesSnapshotView;
+  struct BlockRef {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  std::unique_ptr<ReadOnlyFile> file_;
+  ChunkLayout layout_{{1, 1, 1}, {1, 1, 1}};
+  std::vector<std::string> names_;
+  std::map<std::string, std::size_t> field_index_;
+  std::unique_ptr<Codec> codec_;
+  std::string codec_name_;
+  std::vector<double> times_;
+  std::vector<BlockRef> index_;  ///< [(t * nfields + f) * nchunks + c]
+  std::vector<SeriesSnapshotView> views_;  ///< one borrowable view per t
+  std::unique_ptr<BlockCache> cache_;
+};
+
+}  // namespace sickle::store

@@ -1,9 +1,5 @@
 #include "store/snapshot_store.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -29,37 +25,6 @@ T read_pod(std::ifstream& f) {
   f.read(reinterpret_cast<char*>(&v), sizeof(T));
   if (!f) throw RuntimeError("truncated SKL2 file");
   return v;
-}
-
-/// Shard count for a cache: single shard while the budget holds only a
-/// few chunks (strict global LRU, the pre-sharding behavior), doubling up
-/// to 16 once every shard can still hold several chunks of its own.
-std::size_t auto_shard_count(std::size_t cache_bytes,
-                             std::size_t chunk_bytes) {
-  std::size_t s = 1;
-  while (s < 16 && cache_bytes / (2 * s) >= 4 * chunk_bytes) s *= 2;
-  return s;
-}
-
-std::size_t round_up_pow2(std::size_t v) {
-  std::size_t p = 1;
-  while (p < v) p *= 2;
-  return p;
-}
-
-/// Copy one chunk's values out of a field, z-fastest within the box.
-std::vector<double> extract_chunk(std::span<const double> data,
-                                  const field::GridShape& grid,
-                                  const ChunkLayout::Box& b) {
-  std::vector<double> vals(b.points());
-  std::size_t k = 0;
-  for (std::size_t ix = b.x0; ix < b.x0 + b.ex; ++ix) {
-    for (std::size_t iy = b.y0; iy < b.y0 + b.ey; ++iy) {
-      const double* row = data.data() + grid.index(ix, iy, b.z0);
-      for (std::size_t iz = 0; iz < b.ez; ++iz) vals[k++] = row[iz];
-    }
-  }
-  return vals;
 }
 
 }  // namespace
@@ -135,8 +100,7 @@ StoreWriteReport write_store(const field::Snapshot& snap,
 }
 
 ChunkReader::ChunkReader(const std::string& path, std::size_t cache_bytes,
-                         std::size_t shards)
-    : path_(path) {
+                         std::size_t shards) {
   std::ifstream file(path, std::ios::binary);
   if (!file) throw RuntimeError("cannot open for read: " + path);
   char magic[4];
@@ -193,96 +157,20 @@ ChunkReader::ChunkReader(const std::string& path, std::size_t cache_bytes,
 
   const std::size_t chunk_bytes =
       layout_.chunk_shape().size() * sizeof(double);
-  // Clamp before rounding: round_up_pow2 would loop forever past 2^63.
-  shard_count_ = shards == 0
-                     ? auto_shard_count(cache_bytes, chunk_bytes)
-                     : round_up_pow2(std::min<std::size_t>(shards, 256));
-  shard_capacity_ = std::max<std::size_t>(cache_bytes / shard_count_, 1);
-  shards_ = std::make_unique<Shard[]>(shard_count_);
-
-  // Payload reads go through pread(2): no shared seek state, so shards
-  // never contend on the descriptor. Opened last: a throwing constructor
-  // never runs the destructor, so nothing may throw after this or the
-  // descriptor would leak.
-  fd_ = ::open(path.c_str(), O_RDONLY);
-  if (fd_ < 0) throw RuntimeError("cannot open for read: " + path);
-}
-
-ChunkReader::~ChunkReader() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-std::vector<std::uint8_t> ChunkReader::read_block(const BlockRef& ref)
-    const {
-  std::vector<std::uint8_t> block(ref.bytes);
-  std::size_t got = 0;
-  while (got < ref.bytes) {
-    const ssize_t r = ::pread(fd_, block.data() + got, ref.bytes - got,
-                              static_cast<off_t>(ref.offset + got));
-    if (r < 0 && errno == EINTR) continue;  // interrupted, not truncated
-    if (r <= 0) throw RuntimeError("truncated SKL2 file: " + path_);
-    got += static_cast<std::size_t>(r);
-  }
-  return block;
+  cache_ = std::make_unique<BlockCache>(cache_bytes, chunk_bytes, shards);
+  file_ = std::make_unique<ReadOnlyFile>(path);
 }
 
 std::shared_ptr<const std::vector<double>> ChunkReader::chunk(
     std::size_t field_index, std::size_t chunk_id) const {
   SICKLE_CHECK(field_index < names_.size() && chunk_id < layout_.count());
   const std::uint64_t key = field_index * layout_.count() + chunk_id;
-  Shard& shard = shards_[key & (shard_count_ - 1)];
-  {
-    std::lock_guard lock(shard.mu);
-    if (const auto it = shard.map.find(key); it != shard.map.end()) {
-      ++shard.stats.hits;
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-      return it->second.values;
-    }
-    ++shard.stats.misses;
-  }
-
-  // I/O and decode run unlocked so same-shard workers stay parallel on
-  // misses; two threads may decode the same block concurrently, and the
-  // re-check below keeps the first insert.
-  const auto block = read_block(index_[key]);
-  auto values = std::make_shared<const std::vector<double>>(codec_->decode(
-      std::span<const std::uint8_t>(block), layout_.box(chunk_id).points()));
-
-  std::lock_guard lock(shard.mu);
-  if (const auto it = shard.map.find(key); it != shard.map.end()) {
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-    return it->second.values;
-  }
-  shard.lru.push_front(key);
-  shard.map[key] = CacheEntry{values, shard.lru.begin()};
-  shard.stats.resident_bytes += values->size() * sizeof(double);
-  // Evict strictly down to the shard budget — all the way to empty if a
-  // single chunk exceeds it (the caller holds the values shared_ptr, so
-  // nothing dangles). Retaining a minimum entry instead would let
-  // shard_count oversized chunks pin shard_count * chunk_bytes, breaking
-  // the O(cache_bytes) memory contract for explicit shard counts.
-  while (shard.stats.resident_bytes > shard_capacity_ &&
-         !shard.map.empty()) {
-    const std::uint64_t victim = shard.lru.back();
-    shard.lru.pop_back();
-    const auto vit = shard.map.find(victim);
-    shard.stats.resident_bytes -= vit->second.values->size() * sizeof(double);
-    shard.map.erase(vit);
-    ++shard.stats.evictions;
-  }
-  return values;
-}
-
-ChunkReader::CacheStats ChunkReader::cache_stats() const {
-  CacheStats total;
-  for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::lock_guard lock(shards_[s].mu);
-    total.hits += shards_[s].stats.hits;
-    total.misses += shards_[s].stats.misses;
-    total.evictions += shards_[s].stats.evictions;
-    total.resident_bytes += shards_[s].stats.resident_bytes;
-  }
-  return total;
+  return cache_->get(key, [&]() -> BlockCache::Block {
+    const auto block = file_->read(index_[key].offset, index_[key].bytes);
+    return std::make_shared<const std::vector<double>>(
+        codec_->decode(std::span<const std::uint8_t>(block),
+                       layout_.box(chunk_id).points()));
+  });
 }
 
 void ChunkReader::gather(const std::string& var,

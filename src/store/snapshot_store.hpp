@@ -8,35 +8,39 @@
 /// index so readers fetch only the blocks a query touches. ChunkReader
 /// implements field::FieldSource, so the sampling pipeline streams samples
 /// out-of-core via sampling::run_pipeline_streaming with memory bounded by
-/// the reader's block cache, never the grid. Layout spec: docs/STORE.md.
+/// the reader's block cache, never the grid. For multi-snapshot time
+/// series, the SKL3 container (series_store.hpp) amortizes one header and
+/// index over the whole series. Layout spec: docs/STORE.md.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "field/field.hpp"
 #include "field/field_source.hpp"
 #include "parallel/thread_pool.hpp"
+#include "store/block_cache.hpp"
 #include "store/chunk_layout.hpp"
 #include "store/codec.hpp"
 
 namespace sickle::store {
 
 /// Writer-side knobs; also carried by sickle::CaseConfig for the config
-/// driven "skl2" backend.
+/// driven "skl2"/"series" backends.
 struct StoreOptions {
   field::GridShape chunk{32, 32, 32};  ///< nominal chunk edge lengths
   std::string codec = "delta";         ///< "raw" | "delta" | "quant"
   double tolerance = 1e-6;             ///< quant max abs error
   std::size_t cache_bytes = 64ull << 20;  ///< reader block-cache capacity
   ThreadPool* pool = nullptr;          ///< encode pool; nullptr = global()
+  /// SeriesWriter streaming budget: encoded blocks are flushed to disk in
+  /// waves whose raw input stays under this bound, so writer memory is
+  /// O(budget + codec scratch) instead of O(snapshot).
+  std::size_t write_budget_bytes = 8ull << 20;
 };
 
 /// What write_store did, for benches and storage accounting.
@@ -70,12 +74,13 @@ StoreWriteReport write_store(const field::Snapshot& snap,
 ///
 /// Thread-safety contract: one ChunkReader may be shared by any number of
 /// threads calling gather()/chunk()/load_field() concurrently. The block
-/// cache is split into power-of-two shards (each with its own mutex, LRU
-/// list, and slice of the byte budget, keyed by chunk id) and file reads
-/// use pread(2), which carries no shared seek state. The parallel
-/// streaming pipeline (PipelineConfig::threads != 1) drives exactly this:
-/// many workers gathering cubes from one shared reader. Construction and
-/// destruction are not concurrent-safe with use, as usual.
+/// cache is a store::BlockCache — power-of-two shards, each with its own
+/// mutex, LRU list, and slice of the byte budget, keyed by chunk id — and
+/// file reads use pread(2), which carries no shared seek state. The
+/// parallel streaming pipeline (PipelineConfig::threads != 1) drives
+/// exactly this: many workers gathering cubes from one shared reader.
+/// Construction and destruction are not concurrent-safe with use, as
+/// usual.
 class ChunkReader final : public field::FieldSource {
  public:
   /// `shards` = 0 picks a shard count automatically: 1 for caches only a
@@ -85,7 +90,6 @@ class ChunkReader final : public field::FieldSource {
   explicit ChunkReader(const std::string& path,
                        std::size_t cache_bytes = 64ull << 20,
                        std::size_t shards = 0);
-  ~ChunkReader() override;
 
   ChunkReader(const ChunkReader&) = delete;
   ChunkReader& operator=(const ChunkReader&) = delete;
@@ -103,8 +107,8 @@ class ChunkReader final : public field::FieldSource {
   void gather(const std::string& var, std::span<const std::size_t> idx,
               std::span<double> out) const override;
   using field::FieldSource::gather;
+  [[nodiscard]] double time() const noexcept override { return time_; }
 
-  [[nodiscard]] double time() const noexcept { return time_; }
   [[nodiscard]] const ChunkLayout& layout() const noexcept { return layout_; }
   [[nodiscard]] const std::string& codec_name() const noexcept {
     return codec_name_;
@@ -125,17 +129,12 @@ class ChunkReader final : public field::FieldSource {
   /// the purpose on larger-than-RAM stores.
   [[nodiscard]] field::Snapshot load_snapshot() const;
 
-  struct CacheStats {
-    std::size_t hits = 0;
-    std::size_t misses = 0;
-    std::size_t evictions = 0;
-    std::size_t resident_bytes = 0;
-  };
+  using CacheStats = store::CacheStats;
   /// Aggregated over all shards (locks each shard briefly).
-  [[nodiscard]] CacheStats cache_stats() const;
+  [[nodiscard]] CacheStats cache_stats() const { return cache_->stats(); }
 
   [[nodiscard]] std::size_t shard_count() const noexcept {
-    return shard_count_;
+    return cache_->shard_count();
   }
 
  private:
@@ -143,25 +142,8 @@ class ChunkReader final : public field::FieldSource {
     std::uint64_t offset = 0;
     std::uint64_t bytes = 0;
   };
-  struct CacheEntry {
-    std::shared_ptr<const std::vector<double>> values;
-    std::list<std::uint64_t>::iterator lru_it;
-  };
-  /// One cache shard: independent mutex, LRU list, map, stats, and an
-  /// equal slice of the byte budget. Shard choice is a mask over the block
-  /// key, so consecutive chunk ids land on different shards.
-  struct Shard {
-    std::mutex mu;
-    std::list<std::uint64_t> lru;  ///< front = most recently used
-    std::unordered_map<std::uint64_t, CacheEntry> map;
-    CacheStats stats;
-  };
 
-  [[nodiscard]] std::vector<std::uint8_t> read_block(const BlockRef& ref)
-      const;
-
-  std::string path_;
-  int fd_ = -1;
+  std::unique_ptr<ReadOnlyFile> file_;
   ChunkLayout layout_{{1, 1, 1}, {1, 1, 1}};
   double time_ = 0.0;
   std::vector<std::string> names_;
@@ -169,10 +151,7 @@ class ChunkReader final : public field::FieldSource {
   std::unique_ptr<Codec> codec_;
   std::string codec_name_;
   std::vector<BlockRef> index_;  ///< [field * layout.count() + chunk]
-
-  std::size_t shard_count_ = 1;
-  std::size_t shard_capacity_ = 0;  ///< byte budget per shard
-  std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<BlockCache> cache_;
 };
 
 }  // namespace sickle::store

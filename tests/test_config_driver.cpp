@@ -125,6 +125,47 @@ store:
   EXPECT_EQ(cc.store.cache_bytes, 8u << 20);
 }
 
+TEST(ConfigDriver, SeriesBackendTemporalAndSpillMapping) {
+  const auto cfg = Config::parse(R"(
+shared:
+  dataset: SST-P1F4
+store:
+  backend: series
+  codec: delta
+  write_budget_mb: 4
+  spill_dir: /scratch/spills
+temporal:
+  num_snapshots: 12
+  variable: T
+  bins: 64
+)");
+  const auto cc = case_from_config(cfg);
+  EXPECT_EQ(cc.backend, "series");
+  EXPECT_EQ(cc.store.write_budget_bytes, 4u << 20);
+  EXPECT_EQ(cc.spill_dir, "/scratch/spills");
+  EXPECT_TRUE(cc.temporal.enabled());
+  EXPECT_EQ(cc.temporal.num_snapshots, 12u);
+  EXPECT_EQ(cc.temporal.variable, "T");
+  EXPECT_EQ(cc.temporal.bins, 64u);
+
+  // Absent sections: temporal stage disabled, system temp spill.
+  const auto defaults =
+      case_from_config(Config::parse("shared:\n  dataset: OF2D\n"));
+  EXPECT_FALSE(defaults.temporal.enabled());
+  EXPECT_TRUE(defaults.spill_dir.empty());
+  EXPECT_EQ(defaults.store.write_budget_bytes, 8u << 20);
+
+  EXPECT_THROW(case_from_config(Config::parse(
+                   "store:\n  write_budget_mb: 0\n")),
+               RuntimeError);
+  EXPECT_THROW(case_from_config(Config::parse(
+                   "temporal:\n  bins: 0\n")),
+               RuntimeError);
+  EXPECT_THROW(case_from_config(Config::parse(
+                   "temporal:\n  num_snapshots: -1\n")),
+               RuntimeError);
+}
+
 TEST(ConfigDriver, StoreDefaultsAndErrors) {
   const auto defaults =
       case_from_config(Config::parse("shared:\n  dataset: OF2D\n"));

@@ -1,9 +1,12 @@
-// Unit tests: thread pool, parallel_for, SPMD world collectives.
+// Unit tests: thread pool, per-call task groups, parallel_for, SPMD world
+// collectives.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "parallel/thread_pool.hpp"
 #include "parallel/world.hpp"
@@ -56,6 +59,78 @@ TEST(ParallelFor, TaskExceptionsRethrowOnCaller) {
   // All four 25-index chunks started; only [25,50) stopped early, at 37.
   EXPECT_GE(visited.load(), 76);
   EXPECT_LT(visited.load(), 100);
+}
+
+TEST(TaskGroup, WaitsForExactlyItsOwnTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> mine{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 50; ++i) {
+    group.run([&mine] { ++mine; });
+  }
+  group.wait();
+  EXPECT_EQ(mine.load(), 50);
+  // wait() after completion returns immediately; the group is reusable.
+  group.wait();
+  group.run([&mine] { ++mine; });
+  group.wait();
+  EXPECT_EQ(mine.load(), 51);
+}
+
+/// The decoupling fix (ROADMAP PR 3 item): a parallel_for must complete
+/// while an unrelated task on the same pool is still blocked in flight.
+/// Under the old pool-wide wait_idle this deadlocks — parallel_for would
+/// wait for the blocked stranger too.
+TEST(TaskGroup, ParallelForDoesNotWaitOnStrangersTasks) {
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  pool.submit([released] { released.wait(); });  // occupies one worker
+
+  std::atomic<int> count{0};
+  parallel_for(100, [&](std::size_t) { ++count; }, &pool, 1);
+  EXPECT_EQ(count.load(), 100);  // finished while the blocker still runs
+
+  release.set_value();
+  pool.wait_idle();
+}
+
+/// Overlapping parallel_for calls from concurrent host threads on one
+/// shared pool: each call must see exactly its own completion. Runs under
+/// TSan in CI (the tsan-concurrency job runs all of test_parallel).
+TEST(TaskGroup, ConcurrentParallelForCallsAreIndependent) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCallers = 6;
+  constexpr std::size_t kRounds = 25;
+  constexpr std::size_t kN = 512;
+  std::vector<std::string> failures(kCallers);
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        std::vector<std::atomic<int>> hits(kN);
+        parallel_for_range(
+            kN,
+            [&](std::size_t b, std::size_t e) {
+              for (std::size_t i = b; i < e; ++i) ++hits[i];
+            },
+            &pool, 16);
+        // parallel_for returned: every one of *our* indices must be done
+        // exactly once, no matter what the other callers are running.
+        for (std::size_t i = 0; i < kN; ++i) {
+          if (hits[i].load() != 1) {
+            failures[c] = "caller " + std::to_string(c) + " round " +
+                          std::to_string(round) + ": index " +
+                          std::to_string(i) + " hit " +
+                          std::to_string(hits[i].load()) + " times";
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& f : failures) EXPECT_EQ(f, "");
 }
 
 TEST(PoolHandle, ResolvesThreadsKnob) {

@@ -539,6 +539,35 @@ TEST(Temporal, NoveltyZeroAgainstSelf) {
   EXPECT_NEAR(nov[1], 0.0, 1e-12);
 }
 
+TEST(Temporal, SeriesSourceOverloadMatchesDatasetOverload) {
+  // The Dataset overload is a thin adapter over the shared SeriesSource
+  // histogram kernel: both paths must agree exactly, and the exposed PMF
+  // kernel must produce one normalized PMF per snapshot.
+  field::Dataset ds("periodic");
+  Rng rng(33);
+  for (int t = 0; t < 6; ++t) {
+    field::Snapshot snap({12, 12, 1}, t);
+    auto& f = snap.add("u");
+    for (auto& x : f.data()) x = rng.normal(t % 3, 0.5);
+    ds.push(std::move(snap));
+  }
+  TemporalConfig cfg;
+  cfg.variable = "u";
+  cfg.num_snapshots = 3;
+  cfg.bins = 24;
+  const field::DatasetSeriesSource series(ds);
+  EXPECT_EQ(select_snapshots(series, cfg), select_snapshots(ds, cfg));
+  EXPECT_EQ(snapshot_novelty(series, cfg), snapshot_novelty(ds, cfg));
+  const auto pmfs = snapshot_pmfs(series, cfg);
+  ASSERT_EQ(pmfs.size(), 6u);
+  for (const auto& p : pmfs) {
+    ASSERT_EQ(p.size(), 24u);
+    double mass = 0.0;
+    for (const double x : p) mass += x;
+    EXPECT_NEAR(mass, 1.0, 1e-12);
+  }
+}
+
 TEST(Temporal, SelectionCappedAtDatasetSize) {
   field::Dataset ds("d");
   Rng rng(32);
