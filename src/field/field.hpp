@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <map>
 #include <span>
 #include <string>
@@ -74,7 +75,10 @@ class Snapshot {
   [[nodiscard]] double time() const noexcept { return time_; }
   void set_time(double t) noexcept { time_ = t; }
 
-  /// Add a variable; name must be unique within the snapshot.
+  /// Add a variable; name must be unique within the snapshot. The
+  /// returned reference stays valid across later add() calls (fields live
+  /// in a deque, so growth never relocates them) — generators rely on
+  /// holding several field references while filling them point by point.
   Field& add(std::string name);
   Field& add(std::string name, std::vector<double> data);
 
@@ -101,7 +105,12 @@ class Snapshot {
  private:
   GridShape shape_;
   double time_;
-  std::vector<Field> fields_;
+  // Deque, not vector: add() hands out long-lived Field references, and
+  // deque growth never relocates existing elements. With a vector, the
+  // second add() invalidated every earlier reference — an ASan-visible
+  // use-after-free that only worked at -O2 because the optimizer hoisted
+  // the data pointer past the invalidation.
+  std::deque<Field> fields_;
   std::map<std::string, std::size_t> index_;
 };
 

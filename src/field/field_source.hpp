@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -94,6 +95,12 @@ class SnapshotSource final : public FieldSource {
   const Snapshot* snap_;
 };
 
+/// Exact [min, max] of one variable on one snapshot.
+struct VarRange {
+  double min = 0.0;
+  double max = 0.0;
+};
+
 /// Read-only access to a time-ordered sequence of snapshots on a shared
 /// grid — the temporal twin of FieldSource. Implementations: an in-memory
 /// Dataset (DatasetSeriesSource, zero-copy), an SKL3 series container
@@ -116,6 +123,19 @@ class SeriesSource {
 
   [[nodiscard]] virtual double time(std::size_t t) const {
     return source(t).time();
+  }
+
+  /// Precomputed value range of `var` on snapshot `t`, when the source
+  /// carries one (SKL3 v2 index-resident summary blocks). nullopt means
+  /// the caller must scan — consumers like temporal selection use the
+  /// summary to skip a full range pass over the series, halving cold-store
+  /// selection I/O. Ranges are exact for lossless codecs, so
+  /// summary-driven and scan-driven statistics stay bit-identical.
+  [[nodiscard]] virtual std::optional<VarRange> value_range(
+      std::size_t t, const std::string& var) const {
+    (void)t;
+    (void)var;
+    return std::nullopt;
   }
 };
 

@@ -7,8 +7,10 @@
 
 namespace sickle::flow {
 
-field::Dataset generate_combustion(const CombustionParams& p) {
-  field::Dataset ds("TC2D");
+std::optional<field::Snapshot> CombustionProducer::next() {
+  if (produced_) return std::nullopt;
+  produced_ = true;
+  const CombustionParams& p = params_;
   Rng rng(p.seed);
 
   const field::GridShape shape{p.nx, p.ny, 1};
@@ -49,8 +51,12 @@ field::Dataset generate_combustion(const CombustionParams& p) {
           std::max(0.0, 0.25 * cc * (1.0 - cc) + 0.002 * rng.normal());
     }
   }
-  ds.push(std::move(snap));
-  return ds;
+  return snap;
+}
+
+field::Dataset generate_combustion(const CombustionParams& p) {
+  CombustionProducer producer(p);
+  return materialize(producer, "TC2D");
 }
 
 }  // namespace sickle::flow

@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "field/field.hpp"
+#include "flow/producer.hpp"
 
 namespace sickle::flow {
 
@@ -27,5 +28,19 @@ struct CombustionParams {
 /// Generate the single-snapshot TC2D dataset with fields "C" (progress
 /// variable) and "Cvar" (filtered variance of C).
 [[nodiscard]] field::Dataset generate_combustion(const CombustionParams& p);
+
+/// Producer form of the (single-snapshot) TC2D generator.
+class CombustionProducer final : public SnapshotProducer {
+ public:
+  explicit CombustionProducer(const CombustionParams& params)
+      : params_(params) {}
+
+  [[nodiscard]] std::size_t num_snapshots() const override { return 1; }
+  [[nodiscard]] std::optional<field::Snapshot> next() override;
+
+ private:
+  CombustionParams params_;
+  bool produced_ = false;
+};
 
 }  // namespace sickle::flow

@@ -31,9 +31,16 @@ void lamb_oseen(double x, double y, double xv, double yv, double gamma,
 
 }  // namespace
 
-CylinderWake generate_cylinder_wake(const CylinderWakeParams& p) {
-  CylinderWake out;
-  Rng rng(p.seed);
+CylinderWakeProducer::CylinderWakeProducer(const CylinderWakeParams& params)
+    : params_(params), rng_(params.seed) {
+  drag_.reserve(params.snapshots);
+  times_.reserve(params.snapshots);
+}
+
+std::optional<field::Snapshot> CylinderWakeProducer::next() {
+  if (produced_ >= params_.snapshots) return std::nullopt;
+  const CylinderWakeParams& p = params_;
+  Rng& rng = rng_;
 
   const field::GridShape shape{p.nx, p.ny, 1};
   const double diameter = 2.0 * p.radius;
@@ -48,91 +55,95 @@ CylinderWake generate_cylinder_wake(const CylinderWakeParams& p) {
   const double dx = (p.domain_x1 - p.domain_x0) / static_cast<double>(p.nx - 1);
   const double dy = 2.0 * p.domain_y1 / static_cast<double>(p.ny - 1);
 
-  out.drag.reserve(p.snapshots);
-  out.times.reserve(p.snapshots);
+  const std::size_t ts = produced_++;
+  const double t = static_cast<double>(ts) * dt;
+  field::Snapshot snap(shape, t);
+  auto& fu = snap.add("u");
+  auto& fv = snap.add("v");
+  auto& fp = snap.add("p");
 
-  for (std::size_t ts = 0; ts < p.snapshots; ++ts) {
-    const double t = static_cast<double>(ts) * dt;
-    field::Snapshot snap(shape, t);
-    auto& fu = snap.add("u");
-    auto& fv = snap.add("v");
-    auto& fp = snap.add("p");
-
-    // Positions of street vortices at time t. Vortices are born at the
-    // cylinder every half period with alternating sign and advect at
-    // 0.8 U_inf; we keep the trailing ~24 so the whole domain is populated.
-    struct Vortex {
-      double x, y, gamma;
-    };
-    std::vector<Vortex> vortices;
-    const double conv = 0.8 * p.u_infinity;
-    for (int m = 0; m < 24; ++m) {
-      // m-th most recent shed vortex; alternate top/bottom.
-      const double age =
-          std::fmod(t, period / 2.0) + static_cast<double>(m) * period / 2.0;
-      const bool top = (static_cast<int>(std::floor(t / (period / 2.0))) - m) %
-                           2 ==
-                       0;
-      Vortex v;
-      v.x = p.radius + conv * age;
-      v.y = top ? street_h / 2.0 : -street_h / 2.0;
-      v.gamma = (top ? -1.0 : 1.0) * p.vortex_strength;
-      if (v.x <= p.domain_x1 + street_l) vortices.push_back(v);
-    }
-
-    for (std::size_t ix = 0; ix < p.nx; ++ix) {
-      const double x = p.domain_x0 + static_cast<double>(ix) * dx;
-      for (std::size_t iy = 0; iy < p.ny; ++iy) {
-        const double y = -p.domain_y1 + static_cast<double>(iy) * dy;
-        const double r2 = x * x + y * y;
-        double u, v;
-        if (r2 <= sqr(p.radius)) {
-          // Inside the body: no-slip solid, stagnation pressure.
-          u = 0.0;
-          v = 0.0;
-          fp.at(ix, iy) = 0.5 * sqr(p.u_infinity);
-        } else {
-          // Potential flow around the cylinder (doublet + uniform stream).
-          const double a2r2 = sqr(p.radius) / r2;
-          const double x2y2 = (x * x - y * y) / r2;
-          u = p.u_infinity * (1.0 - a2r2 * x2y2);
-          v = -p.u_infinity * a2r2 * (2.0 * x * y / r2);
-          // Wake vortices only act downstream of the body's shadow.
-          for (const auto& vx : vortices) {
-            double du = 0.0, dv = 0.0;
-            lamb_oseen(x, y, vx.x, vx.y, vx.gamma, core, du, dv);
-            // Taper vortex influence near/inside the cylinder region.
-            const double shield =
-                1.0 - std::exp(-std::max(0.0, r2 - sqr(p.radius)) /
-                               sqr(diameter));
-            u += shield * du;
-            v += shield * dv;
-          }
-          u += p.noise * rng.normal();
-          v += p.noise * rng.normal();
-          // Bernoulli pressure (rho = 1, p_inf = 0 gauge).
-          fp.at(ix, iy) =
-              0.5 * (sqr(p.u_infinity) - (u * u + v * v)) +
-              p.noise * rng.normal();
-        }
-        fu.at(ix, iy) = u;
-        fv.at(ix, iy) = v;
-      }
-    }
-    field::add_vorticity_2d(snap);
-    out.dataset.push(std::move(snap));
-
-    // Drag signal: mean Cd for a cylinder near this Re plus the shedding
-    // oscillation at 2f (drag oscillates at twice the lift frequency) and a
-    // weaker component at f, with measurement noise.
-    const double cd_mean = 1.0;
-    const double cd = cd_mean +
-                      0.10 * std::cos(2.0 * kPi * 2.0 * shed_freq * t) +
-                      0.03 * std::sin(2.0 * kPi * shed_freq * t + 0.7) +
-                      p.noise * rng.normal();
-    out.drag.push_back(cd);
-    out.times.push_back(t);
+  // Positions of street vortices at time t. Vortices are born at the
+  // cylinder every half period with alternating sign and advect at
+  // 0.8 U_inf; we keep the trailing ~24 so the whole domain is populated.
+  struct Vortex {
+    double x, y, gamma;
+  };
+  std::vector<Vortex> vortices;
+  const double conv = 0.8 * p.u_infinity;
+  for (int m = 0; m < 24; ++m) {
+    // m-th most recent shed vortex; alternate top/bottom.
+    const double age =
+        std::fmod(t, period / 2.0) + static_cast<double>(m) * period / 2.0;
+    const bool top = (static_cast<int>(std::floor(t / (period / 2.0))) - m) %
+                         2 ==
+                     0;
+    Vortex v;
+    v.x = p.radius + conv * age;
+    v.y = top ? street_h / 2.0 : -street_h / 2.0;
+    v.gamma = (top ? -1.0 : 1.0) * p.vortex_strength;
+    if (v.x <= p.domain_x1 + street_l) vortices.push_back(v);
   }
+
+  for (std::size_t ix = 0; ix < p.nx; ++ix) {
+    const double x = p.domain_x0 + static_cast<double>(ix) * dx;
+    for (std::size_t iy = 0; iy < p.ny; ++iy) {
+      const double y = -p.domain_y1 + static_cast<double>(iy) * dy;
+      const double r2 = x * x + y * y;
+      double u, v;
+      if (r2 <= sqr(p.radius)) {
+        // Inside the body: no-slip solid, stagnation pressure.
+        u = 0.0;
+        v = 0.0;
+        fp.at(ix, iy) = 0.5 * sqr(p.u_infinity);
+      } else {
+        // Potential flow around the cylinder (doublet + uniform stream).
+        const double a2r2 = sqr(p.radius) / r2;
+        const double x2y2 = (x * x - y * y) / r2;
+        u = p.u_infinity * (1.0 - a2r2 * x2y2);
+        v = -p.u_infinity * a2r2 * (2.0 * x * y / r2);
+        // Wake vortices only act downstream of the body's shadow.
+        for (const auto& vx : vortices) {
+          double du = 0.0, dv = 0.0;
+          lamb_oseen(x, y, vx.x, vx.y, vx.gamma, core, du, dv);
+          // Taper vortex influence near/inside the cylinder region.
+          const double shield =
+              1.0 - std::exp(-std::max(0.0, r2 - sqr(p.radius)) /
+                             sqr(diameter));
+          u += shield * du;
+          v += shield * dv;
+        }
+        u += p.noise * rng.normal();
+        v += p.noise * rng.normal();
+        // Bernoulli pressure (rho = 1, p_inf = 0 gauge).
+        fp.at(ix, iy) =
+            0.5 * (sqr(p.u_infinity) - (u * u + v * v)) +
+            p.noise * rng.normal();
+      }
+      fu.at(ix, iy) = u;
+      fv.at(ix, iy) = v;
+    }
+  }
+  field::add_vorticity_2d(snap);
+
+  // Drag signal: mean Cd for a cylinder near this Re plus the shedding
+  // oscillation at 2f (drag oscillates at twice the lift frequency) and a
+  // weaker component at f, with measurement noise.
+  const double cd_mean = 1.0;
+  const double cd = cd_mean +
+                    0.10 * std::cos(2.0 * kPi * 2.0 * shed_freq * t) +
+                    0.03 * std::sin(2.0 * kPi * shed_freq * t + 0.7) +
+                    p.noise * rng.normal();
+  drag_.push_back(cd);
+  times_.push_back(t);
+  return snap;
+}
+
+CylinderWake generate_cylinder_wake(const CylinderWakeParams& p) {
+  CylinderWakeProducer producer(p);
+  CylinderWake out;
+  out.dataset = materialize(producer, "OF2D");
+  out.drag = producer.scalar_target();
+  out.times = producer.times();
   return out;
 }
 

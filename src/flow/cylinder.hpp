@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "field/field.hpp"
+#include "flow/producer.hpp"
 
 namespace sickle::flow {
 
@@ -44,5 +45,33 @@ struct CylinderWake {
 
 [[nodiscard]] CylinderWake generate_cylinder_wake(
     const CylinderWakeParams& params);
+
+/// Snapshot-at-a-time wake synthesis. The measurement-noise RNG stream
+/// advances with each produced snapshot, so producing in order yields the
+/// same bits as generate_cylinder_wake (which materializes this producer).
+/// Per-snapshot drag accumulates in scalar_target() as snapshots are
+/// produced — the sample-single learning target.
+class CylinderWakeProducer final : public SnapshotProducer {
+ public:
+  explicit CylinderWakeProducer(const CylinderWakeParams& params);
+
+  [[nodiscard]] std::size_t num_snapshots() const override {
+    return params_.snapshots;
+  }
+  [[nodiscard]] std::optional<field::Snapshot> next() override;
+  [[nodiscard]] std::vector<double> scalar_target() const override {
+    return drag_;
+  }
+  [[nodiscard]] const std::vector<double>& times() const noexcept {
+    return times_;
+  }
+
+ private:
+  CylinderWakeParams params_;
+  Rng rng_;
+  std::size_t produced_ = 0;
+  std::vector<double> drag_;
+  std::vector<double> times_;
+};
 
 }  // namespace sickle::flow

@@ -1,0 +1,13 @@
+#include "flow/producer.hpp"
+
+namespace sickle::flow {
+
+field::Dataset materialize(SnapshotProducer& producer, std::string name) {
+  field::Dataset ds(std::move(name));
+  while (auto snap = producer.next()) {
+    ds.push(std::move(*snap));
+  }
+  return ds;
+}
+
+}  // namespace sickle::flow

@@ -247,23 +247,32 @@ std::vector<double> pressure_poisson(const field::Snapshot& snap) {
 
 }  // namespace
 
-field::Dataset generate_spectral_turbulence(
-    const SpectralTurbulenceParams& p) {
-  SICKLE_CHECK_MSG(is_pow2(p.nx) && is_pow2(p.ny) && is_pow2(p.nz),
-                   "spectral grid extents must be powers of two");
-  SICKLE_CHECK(p.gravity_axis >= 0 && p.gravity_axis <= 2);
-  field::Dataset ds("spectral");
-  Rng rng(p.seed);
-  const SpectralState st = build_base_state(p, rng);
-
+/// Everything one snapshot realization needs: the (immutable) base
+/// spectral state, the envelope, and the production cursor. All RNG is
+/// consumed at construction, so realizations are pure functions of the
+/// step index and producing lazily is bit-identical to the batch loop.
+struct SpectralTurbulenceProducer::Impl {
+  SpectralTurbulenceParams params;
+  SpectralState state;
   std::vector<double> envelope;
-  if (p.intermittency > 0.0) {
-    envelope = intermittency_envelope(p.nx, p.ny, p.nz, p.intermittency,
-                                      rng.fork(6));
+  std::size_t produced = 0;
+
+  explicit Impl(const SpectralTurbulenceParams& p) : params(p) {
+    SICKLE_CHECK_MSG(is_pow2(p.nx) && is_pow2(p.ny) && is_pow2(p.nz),
+                     "spectral grid extents must be powers of two");
+    SICKLE_CHECK(p.gravity_axis >= 0 && p.gravity_axis <= 2);
+    Rng rng(p.seed);
+    state = build_base_state(p, rng);
+    if (p.intermittency > 0.0) {
+      envelope = intermittency_envelope(p.nx, p.ny, p.nz, p.intermittency,
+                                        rng.fork(6));
+    }
   }
 
-  const field::GridShape shape{p.nx, p.ny, p.nz};
-  for (std::size_t ts = 0; ts < p.snapshots; ++ts) {
+  [[nodiscard]] field::Snapshot realize_step(std::size_t ts) const {
+    const auto& p = params;
+    const auto& st = state;
+    const field::GridShape shape{p.nx, p.ny, p.nz};
     const double t = static_cast<double>(ts) * p.dt;
     field::Snapshot snap(shape, t);
 
@@ -326,12 +335,35 @@ field::Dataset generate_spectral_turbulence(
     if (p.with_pressure) {
       snap.add("p", pressure_poisson(snap));
     }
-    ds.push(std::move(snap));
+    return snap;
   }
-  return ds;
+};
+
+SpectralTurbulenceProducer::SpectralTurbulenceProducer(
+    const SpectralTurbulenceParams& p)
+    : impl_(std::make_unique<Impl>(p)) {}
+
+SpectralTurbulenceProducer::~SpectralTurbulenceProducer() = default;
+
+std::size_t SpectralTurbulenceProducer::num_snapshots() const {
+  return impl_->params.snapshots;
 }
 
-field::Dataset generate_stratified(const StratifiedParams& p) {
+std::optional<field::Snapshot> SpectralTurbulenceProducer::next() {
+  if (impl_->produced >= impl_->params.snapshots) return std::nullopt;
+  return impl_->realize_step(impl_->produced++);
+}
+
+field::Dataset generate_spectral_turbulence(
+    const SpectralTurbulenceParams& p) {
+  SpectralTurbulenceProducer producer(p);
+  return materialize(producer, "spectral");
+}
+
+namespace {
+
+SpectralTurbulenceParams stratified_spectral_params(
+    const StratifiedParams& p) {
   SpectralTurbulenceParams sp;
   sp.nx = p.nx;
   sp.ny = p.ny;
@@ -344,18 +376,10 @@ field::Dataset generate_stratified(const StratifiedParams& p) {
   sp.with_density = true;
   sp.with_pressure = true;
   sp.seed = p.seed;
-  field::Dataset ds = generate_spectral_turbulence(sp);
-  field::Dataset out("SST");
-  for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
-    field::Snapshot snap = ds.snapshot(t);  // copy, then enrich
-    field::add_potential_vorticity_3d(snap);
-    field::add_dissipation_3d(snap);
-    out.push(std::move(snap));
-  }
-  return out;
+  return sp;
 }
 
-field::Dataset generate_isotropic(const IsotropicParams& p) {
+SpectralTurbulenceParams isotropic_spectral_params(const IsotropicParams& p) {
   SpectralTurbulenceParams sp;
   sp.nx = sp.ny = sp.nz = p.n;
   sp.snapshots = p.snapshots;
@@ -365,15 +389,41 @@ field::Dataset generate_isotropic(const IsotropicParams& p) {
   sp.with_density = false;
   sp.with_pressure = true;
   sp.seed = p.seed;
-  field::Dataset ds = generate_spectral_turbulence(sp);
-  field::Dataset out("GESTS");
-  for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
-    field::Snapshot snap = ds.snapshot(t);
-    field::add_enstrophy_3d(snap);
-    field::add_dissipation_3d(snap);
-    out.push(std::move(snap));
-  }
-  return out;
+  return sp;
+}
+
+}  // namespace
+
+StratifiedProducer::StratifiedProducer(const StratifiedParams& p)
+    : base_(stratified_spectral_params(p)) {}
+
+std::optional<field::Snapshot> StratifiedProducer::next() {
+  auto snap = base_.next();
+  if (!snap) return std::nullopt;
+  field::add_potential_vorticity_3d(*snap);
+  field::add_dissipation_3d(*snap);
+  return snap;
+}
+
+field::Dataset generate_stratified(const StratifiedParams& p) {
+  StratifiedProducer producer(p);
+  return materialize(producer, "SST");
+}
+
+IsotropicProducer::IsotropicProducer(const IsotropicParams& p)
+    : base_(isotropic_spectral_params(p)) {}
+
+std::optional<field::Snapshot> IsotropicProducer::next() {
+  auto snap = base_.next();
+  if (!snap) return std::nullopt;
+  field::add_enstrophy_3d(*snap);
+  field::add_dissipation_3d(*snap);
+  return snap;
+}
+
+field::Dataset generate_isotropic(const IsotropicParams& p) {
+  IsotropicProducer producer(p);
+  return materialize(producer, "GESTS");
 }
 
 }  // namespace sickle::flow

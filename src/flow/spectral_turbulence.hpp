@@ -26,8 +26,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "field/field.hpp"
+#include "flow/producer.hpp"
 
 namespace sickle::flow {
 
@@ -51,9 +53,28 @@ struct SpectralTurbulenceParams {
 };
 
 /// Core generator: returns a Dataset whose snapshots carry u, v, w
-/// (+ rho, + p as configured).
+/// (+ rho, + p as configured). Materializes SpectralTurbulenceProducer.
 [[nodiscard]] field::Dataset generate_spectral_turbulence(
     const SpectralTurbulenceParams& p);
+
+/// Snapshot-at-a-time spectral synthesis: the base solenoidal spectral
+/// state and intermittency envelope are built once at construction (all
+/// RNG draws happen there), then each next() realizes one time step —
+/// phase sweep + viscous decay + inverse FFT — so producing a T-step
+/// series holds O(one snapshot) of field data, never O(T). Yields
+/// snapshots bit-identical to generate_spectral_turbulence.
+class SpectralTurbulenceProducer final : public SnapshotProducer {
+ public:
+  explicit SpectralTurbulenceProducer(const SpectralTurbulenceParams& p);
+  ~SpectralTurbulenceProducer() override;
+
+  [[nodiscard]] std::size_t num_snapshots() const override;
+  [[nodiscard]] std::optional<field::Snapshot> next() override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// SST-P1F4-like stratified case (scaled: 64x64x32, 8 snapshots default).
 /// Fields: u, v, w, rho, p, plus derived pv and eps.
@@ -67,6 +88,21 @@ struct StratifiedParams {
 };
 [[nodiscard]] field::Dataset generate_stratified(const StratifiedParams& p);
 
+/// Streaming twin of generate_stratified: spectral realization plus
+/// per-snapshot pv/eps enrichment, one snapshot at a time.
+class StratifiedProducer final : public SnapshotProducer {
+ public:
+  explicit StratifiedProducer(const StratifiedParams& p);
+
+  [[nodiscard]] std::size_t num_snapshots() const override {
+    return base_.num_snapshots();
+  }
+  [[nodiscard]] std::optional<field::Snapshot> next() override;
+
+ private:
+  SpectralTurbulenceProducer base_;
+};
+
 /// GESTS-like isotropic case (scaled: 64^3, 1 snapshot default).
 /// Fields: u, v, w, p, plus derived enstrophy and eps.
 struct IsotropicParams {
@@ -76,6 +112,21 @@ struct IsotropicParams {
   std::uint64_t seed = 13;
 };
 [[nodiscard]] field::Dataset generate_isotropic(const IsotropicParams& p);
+
+/// Streaming twin of generate_isotropic: per-snapshot enstrophy/eps
+/// enrichment over the spectral realization.
+class IsotropicProducer final : public SnapshotProducer {
+ public:
+  explicit IsotropicProducer(const IsotropicParams& p);
+
+  [[nodiscard]] std::size_t num_snapshots() const override {
+    return base_.num_snapshots();
+  }
+  [[nodiscard]] std::optional<field::Snapshot> next() override;
+
+ private:
+  SpectralTurbulenceProducer base_;
+};
 
 /// Model energy spectrum used by the generator (exposed for tests).
 [[nodiscard]] double von_karman_pao(double k, double k_peak, double k_eta);

@@ -14,17 +14,36 @@ std::vector<std::vector<double>> snapshot_pmfs(
   const std::size_t n = series.num_snapshots();
   SICKLE_CHECK_MSG(n > 0, "empty series");
   // Pass 1: global range, so JS distances are comparable across
-  // snapshots.
+  // snapshots. Sources with index-resident summaries (SKL3 v2) answer
+  // this from metadata, turning cold-store selection into a single pass
+  // over the payload. For lossless codecs the summary min/max equal what
+  // the scan would compute, so the range and every downstream PMF are
+  // bit-identical; for quant the summary describes pre-encode values
+  // (within codec tolerance — histogram binning clamps, so PMFs stay
+  // well-defined). Sources without summaries fall back to the full scan.
   double lo = std::numeric_limits<double>::infinity();
   double hi = -std::numeric_limits<double>::infinity();
-  for (std::size_t t = 0; t < n; ++t) {
-    field::for_each_flat_batch(series.source(t), cfg.variable,
-                               [&](std::span<const double> vals) {
-                                 for (const double x : vals) {
-                                   lo = std::min(lo, x);
-                                   hi = std::max(hi, x);
-                                 }
-                               });
+  bool summarized = true;
+  for (std::size_t t = 0; t < n && summarized; ++t) {
+    if (const auto r = series.value_range(t, cfg.variable)) {
+      lo = std::min(lo, r->min);
+      hi = std::max(hi, r->max);
+    } else {
+      summarized = false;
+    }
+  }
+  if (!summarized) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < n; ++t) {
+      field::for_each_flat_batch(series.source(t), cfg.variable,
+                                 [&](std::span<const double> vals) {
+                                   for (const double x : vals) {
+                                     lo = std::min(lo, x);
+                                     hi = std::max(hi, x);
+                                   }
+                                 });
+    }
   }
   if (!(hi > lo)) {
     lo -= 0.5;

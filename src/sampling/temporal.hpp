@@ -33,8 +33,16 @@ struct TemporalConfig {
 
 /// Shared-range per-snapshot PMFs of cfg.variable: all snapshots binned
 /// over the global min/max so JS distances are comparable. Streams each
-/// snapshot in flat-order gather batches (two passes: range, then bins) —
-/// the single histogram kernel behind every select_snapshots overload.
+/// snapshot in flat-order gather batches — the single histogram kernel
+/// behind every select_snapshots overload. When the source carries
+/// index-resident summaries (SeriesSource::value_range, SKL3 v2), the
+/// range pass reads metadata instead of the payload and the whole job is
+/// ONE streaming pass; otherwise it is two (range, then bins). For
+/// lossless codecs both paths produce bit-identical PMFs, since the
+/// summaries are exact min/max of the values the scan would see; for the
+/// lossy quant codec summaries describe pre-encode values, so the shared
+/// range (and hence the selection) may differ from a decoded-value scan
+/// by up to the codec tolerance.
 [[nodiscard]] std::vector<std::vector<double>> snapshot_pmfs(
     const field::SeriesSource& series, const TemporalConfig& cfg);
 

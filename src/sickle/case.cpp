@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <numeric>
+#include <span>
 
 #include "common/timer.hpp"
 #include "field/hypercube.hpp"
@@ -315,111 +316,124 @@ std::string temporal_variable(const CaseConfig& cfg) {
   return cfg.pipeline.input_vars.front();
 }
 
-}  // namespace
-
-ml::TensorDataset build_training_set(const DatasetBundle& bundle,
-                                     const sampling::PipelineResult& sampled,
-                                     const CaseConfig& cfg) {
-  const field::DatasetSeriesSource series(bundle.data);
-  TrainingSetBuilder builder(series, cfg);
-  for (const auto& cs : sampled.cubes) {
-    builder.push(series.source(cs.snapshot), cs);
+/// Incremental FNV-1a 64 over POD values (chains store::fnv1a64 through
+/// its seed parameter) — the sample-set fingerprint behind
+/// CaseReport::sample_hash.
+struct Fnv64 {
+  std::uint64_t h = store::fnv1a64({});  // empty span returns the basis
+  void bytes(const void* p, std::size_t n) noexcept {
+    h = store::fnv1a64(
+        std::span<const std::uint8_t>(static_cast<const std::uint8_t*>(p), n),
+        h);
   }
+  template <typename T>
+  void pod(const T& v) noexcept {
+    bytes(&v, sizeof(T));
+  }
+};
+
+/// Streaming-ingest skl2 backend: one SKL2 file per snapshot, written
+/// up front as the producer yields them (so peak memory is one snapshot,
+/// unlike Skl2SpillSeries which re-encodes from RAM on demand). A single
+/// reader is recycled across source(t) calls — the documented sequential
+/// SeriesSource borrow contract — so reader memory stays O(one cache) no
+/// matter how long the series is; revisits (the temporal PDF passes)
+/// reopen files instead of re-encoding snapshots.
+class Skl2FilesSeries final : public field::SeriesSource {
+ public:
+  Skl2FilesSeries(std::vector<std::string> paths, std::size_t cache_bytes)
+      : paths_(std::move(paths)), cache_bytes_(cache_bytes) {}
+
+  [[nodiscard]] std::size_t num_snapshots() const override {
+    return paths_.size();
+  }
+
+  [[nodiscard]] const field::FieldSource& source(
+      std::size_t t) const override {
+    SICKLE_CHECK(t < paths_.size());
+    if (reader_ == nullptr || current_ != t) {
+      reader_ =
+          std::make_unique<store::ChunkReader>(paths_[t], cache_bytes_);
+      current_ = t;
+    }
+    return *reader_;
+  }
+
+ private:
+  std::vector<std::string> paths_;
+  std::size_t cache_bytes_;
+  mutable std::unique_ptr<store::ChunkReader> reader_;
+  mutable std::size_t current_ = static_cast<std::size_t>(-1);
+};
+
+/// --- Stage B: temporal snapshot selection over streamed PDFs. Returns
+/// the snapshots to sample, ascending.
+std::vector<std::size_t> selection_stage(const field::SeriesSource& series,
+                                         const CaseConfig& cfg,
+                                         CaseReport& report) {
+  std::vector<std::size_t> selected(series.num_snapshots());
+  std::iota(selected.begin(), selected.end(), std::size_t{0});
+  if (cfg.temporal.enabled()) {
+    Timer selection_timer;
+    sampling::TemporalConfig tc;
+    tc.variable = temporal_variable(cfg);
+    tc.num_snapshots = cfg.temporal.num_snapshots;
+    tc.bins = cfg.temporal.bins;
+    selected = sampling::select_snapshots(series, tc);
+    // Greedy selection order -> time order, so downstream stages see a
+    // deterministic, chronologically coherent subset.
+    std::sort(selected.begin(), selected.end());
+    report.selected_snapshots = selected;
+    report.sampling_seconds += selection_timer.seconds();
+  }
+  return selected;
+}
+
+/// --- Stage C: per-snapshot sampling streamed straight into the
+/// training-set builder. Accepted points become training rows while the
+/// snapshot's blocks are still cached; nothing is re-read later. Only the
+/// pipeline's own wall time counts toward sampling_seconds —
+/// training-tensor construction (builder work) is T2 cost, exactly as it
+/// was when the builder ran as a separate post-pass. Shared verbatim by
+/// every backend and ingest mode, which is what keeps sample sets (and
+/// report.sample_hash) bit-identical across them.
+ml::TensorDataset sampling_stage(const field::SeriesSource& series,
+                                 std::span<const std::size_t> selected,
+                                 const CaseConfig& cfg, CaseReport& report,
+                                 energy::EnergyCounter& sampling_energy) {
+  const auto& pl = cfg.pipeline;
+  TrainingSetBuilder builder(series, cfg);
+  Fnv64 hash;
+  const PoolHandle pool = resolve_threads(pl.threads);
+  for (const std::size_t t : selected) {
+    // source(t) is where the lazy skl2 backend encodes its spill, so
+    // time it as ingest — every backend's T1 cost lands in the report.
+    Timer ingest_timer;
+    const field::FieldSource& src = series.source(t);
+    report.sampling_seconds += ingest_timer.seconds();
+    auto r = sampling::run_pipeline_streaming(src, pl, t, pool.get());
+    report.sampled_points += r.total_points();
+    report.sampling_seconds += r.sampling_seconds;
+    sampling_energy.merge(r.energy);
+    for (const auto& cs : r.cubes) {
+      hash.pod<std::uint64_t>(cs.snapshot);
+      hash.pod<std::uint64_t>(cs.cube_id);
+      hash.pod<std::uint64_t>(cs.samples.points());
+      for (const std::size_t idx : cs.samples.indices) {
+        hash.pod<std::uint64_t>(idx);
+      }
+      for (const double x : cs.samples.features) hash.pod<double>(x);
+      builder.push(src, cs);
+    }
+  }
+  report.sample_hash = hash.h;
   return builder.take();
 }
 
-CaseReport run_case(const DatasetBundle& bundle, CaseConfig cfg) {
-  // Fill variable roles from the bundle when the config left them empty.
-  auto& pl = cfg.pipeline;
-  if (pl.input_vars.empty()) pl.input_vars = bundle.input_vars;
-  if (pl.output_vars.empty()) pl.output_vars = bundle.output_vars;
-  if (pl.cluster_var.empty()) pl.cluster_var = bundle.cluster_var;
-
-  CaseReport report;
-  SICKLE_CHECK_MSG(cfg.backend == "memory" || cfg.backend == "skl2" ||
-                       cfg.backend == "series",
-                   "unknown case backend: " + cfg.backend);
-
-  energy::EnergyCounter sampling_energy;
-  ml::TensorDataset data;
-  {
-    // --- Stage A: ingest. Materialize the dataset as a SeriesSource:
-    // borrowed RAM views, per-snapshot SKL2 spills, or one streaming
-    // SKL3 container whose writer memory is bounded by the write budget.
-    SpillGuard guard;
-    const field::DatasetSeriesSource mem_series(bundle.data);
-    std::unique_ptr<field::SeriesSource> spilled;
-    const field::SeriesSource* series = &mem_series;
-    if (cfg.backend != "memory") {
-      Timer spill_timer;
-      guard.dir = make_spill_dir(cfg.spill_dir);
-      guard.armed = true;
-      if (cfg.backend == "skl2") {
-        spilled = std::make_unique<Skl2SpillSeries>(
-            bundle.data, guard.dir, cfg.store, &report.store_bytes);
-      } else {
-        const std::string path = (guard.dir / "series.skl3").string();
-        store::SeriesWriter writer(path, cfg.store);
-        for (std::size_t t = 0; t < bundle.data.num_snapshots(); ++t) {
-          writer.append(bundle.data.snapshot(t));
-        }
-        report.store_bytes = writer.close().file_bytes;
-        spilled = std::make_unique<store::SeriesReader>(
-            path, cfg.store.cache_bytes);
-      }
-      series = spilled.get();
-      report.sampling_seconds += spill_timer.seconds();
-    }
-
-    // --- Stage B: temporal snapshot selection over streamed PDFs.
-    std::vector<std::size_t> selected(series->num_snapshots());
-    std::iota(selected.begin(), selected.end(), std::size_t{0});
-    if (cfg.temporal.enabled()) {
-      Timer selection_timer;
-      sampling::TemporalConfig tc;
-      tc.variable = temporal_variable(cfg);
-      tc.num_snapshots = cfg.temporal.num_snapshots;
-      tc.bins = cfg.temporal.bins;
-      selected = sampling::select_snapshots(*series, tc);
-      // Greedy selection order -> time order, so downstream stages see a
-      // deterministic, chronologically coherent subset.
-      std::sort(selected.begin(), selected.end());
-      report.selected_snapshots = selected;
-      report.sampling_seconds += selection_timer.seconds();
-    }
-
-    // --- Stage C: per-snapshot sampling streamed straight into the
-    // training-set builder. Accepted points become training rows while
-    // the snapshot's blocks are still cached; nothing is re-read later.
-    // Only the pipeline's own wall time counts toward sampling_seconds —
-    // training-tensor construction (builder work) is T2 cost, exactly as
-    // it was when the builder ran as a separate post-pass.
-    TrainingSetBuilder builder(*series, cfg);
-    const PoolHandle pool = resolve_threads(pl.threads);
-    for (const std::size_t t : selected) {
-      // source(t) is where the lazy skl2 backend encodes its spill, so
-      // time it as ingest — every backend's T1 cost lands in the report.
-      Timer ingest_timer;
-      const field::FieldSource& src = series->source(t);
-      report.sampling_seconds += ingest_timer.seconds();
-      auto r = sampling::run_pipeline_streaming(src, pl, t, pool.get());
-      report.sampled_points += r.total_points();
-      report.sampling_seconds += r.sampling_seconds;
-      sampling_energy.merge(r.energy);
-      for (const auto& cs : r.cubes) builder.push(src, cs);
-    }
-    data = builder.take();
-
-    // The spill is only needed until the training set exists; reclaim the
-    // disk before the (potentially long) training stage.
-    spilled.reset();
-    guard.remove_now();
-  }
-  // Node-projected energy: static power charged against roofline node
-  // time, so ratios between cases track data volume and compute — the
-  // regime the paper measures (see energy::EnergyModel).
-  report.sampling_kilojoules = sampling_energy.projected_kilojoules();
-
+/// --- Stage D: model construction + training.
+void training_stage(const ml::TensorDataset& data, const CaseConfig& cfg,
+                    CaseReport& report) {
+  const auto& pl = cfg.pipeline;
   Rng rng(cfg.train.seed, /*stream=*/0x40DE1);
   std::unique_ptr<ml::Module> model;
   const std::size_t edge = pl.cube.ex;
@@ -465,6 +479,164 @@ CaseReport run_case(const DatasetBundle& bundle, CaseConfig cfg) {
 
   report.train = ml::fit(*model, data, cfg.train);
   report.training_kilojoules = report.train.energy.projected_kilojoules();
+}
+
+void check_backend_and_ingest(const CaseConfig& cfg) {
+  SICKLE_CHECK_MSG(cfg.backend == "memory" || cfg.backend == "skl2" ||
+                       cfg.backend == "series",
+                   "unknown case backend: " + cfg.backend);
+  SICKLE_CHECK_MSG(cfg.ingest == "materialize" || cfg.ingest == "streaming",
+                   "unknown ingest mode: " + cfg.ingest);
+}
+
+}  // namespace
+
+ml::TensorDataset build_training_set(const DatasetBundle& bundle,
+                                     const sampling::PipelineResult& sampled,
+                                     const CaseConfig& cfg) {
+  const field::DatasetSeriesSource series(bundle.data);
+  TrainingSetBuilder builder(series, cfg);
+  for (const auto& cs : sampled.cubes) {
+    builder.push(series.source(cs.snapshot), cs);
+  }
+  return builder.take();
+}
+
+CaseReport run_case(const DatasetBundle& bundle, CaseConfig cfg) {
+  // Fill variable roles from the bundle when the config left them empty.
+  auto& pl = cfg.pipeline;
+  if (pl.input_vars.empty()) pl.input_vars = bundle.input_vars;
+  if (pl.output_vars.empty()) pl.output_vars = bundle.output_vars;
+  if (pl.cluster_var.empty()) pl.cluster_var = bundle.cluster_var;
+
+  CaseReport report;
+  check_backend_and_ingest(cfg);
+
+  energy::EnergyCounter sampling_energy;
+  ml::TensorDataset data;
+  {
+    // --- Stage A: ingest. Materialize the dataset as a SeriesSource:
+    // borrowed RAM views, per-snapshot SKL2 spills, or one streaming
+    // SKL3 container whose writer memory is bounded by the write budget.
+    SpillGuard guard;
+    const field::DatasetSeriesSource mem_series(bundle.data);
+    std::unique_ptr<field::SeriesSource> spilled;
+    const field::SeriesSource* series = &mem_series;
+    if (cfg.backend != "memory") {
+      Timer spill_timer;
+      guard.dir = make_spill_dir(cfg.spill_dir);
+      guard.armed = true;
+      if (cfg.backend == "skl2") {
+        spilled = std::make_unique<Skl2SpillSeries>(
+            bundle.data, guard.dir, cfg.store, &report.store_bytes);
+      } else {
+        const std::string path = (guard.dir / "series.skl3").string();
+        store::SeriesWriter writer(path, cfg.store);
+        for (std::size_t t = 0; t < bundle.data.num_snapshots(); ++t) {
+          writer.append(bundle.data.snapshot(t));
+        }
+        report.store_bytes = writer.close().file_bytes;
+        spilled = std::make_unique<store::SeriesReader>(
+            path, cfg.store.cache_bytes);
+      }
+      series = spilled.get();
+      report.sampling_seconds += spill_timer.seconds();
+    }
+
+    const auto selected = selection_stage(*series, cfg, report);
+    data = sampling_stage(*series, std::span<const std::size_t>(selected),
+                          cfg, report, sampling_energy);
+
+    // The spill is only needed until the training set exists; reclaim the
+    // disk before the (potentially long) training stage.
+    spilled.reset();
+    guard.remove_now();
+  }
+  // Node-projected energy: static power charged against roofline node
+  // time, so ratios between cases track data volume and compute — the
+  // regime the paper measures (see energy::EnergyModel).
+  report.sampling_kilojoules = sampling_energy.projected_kilojoules();
+
+  training_stage(data, cfg, report);
+  return report;
+}
+
+CaseReport run_case(ProducerBundle& bundle, CaseConfig cfg) {
+  auto& pl = cfg.pipeline;
+  if (pl.input_vars.empty()) pl.input_vars = bundle.input_vars;
+  if (pl.output_vars.empty()) pl.output_vars = bundle.output_vars;
+  if (pl.cluster_var.empty()) pl.cluster_var = bundle.cluster_var;
+  check_backend_and_ingest(cfg);
+
+  // The memory backend borrows views of a full Dataset, so it always
+  // materializes; so does explicit ingest: materialize — both delegate to
+  // the DatasetBundle path for bit-exact legacy behavior.
+  if (cfg.backend == "memory" || cfg.ingest == "materialize") {
+    return run_case(materialize_bundle(bundle), cfg);
+  }
+
+  CaseReport report;
+  energy::EnergyCounter sampling_energy;
+  ml::TensorDataset data;
+  {
+    // --- Stage A, streaming: simulate -> encode -> append -> drop. At
+    // most one produced snapshot is alive at any point (the loop
+    // variable), and the store writer buffers at most one
+    // write-budget-bounded wave of encoded blocks, so peak ingest memory
+    // is one snapshot + budget (+ codec slack) — never the series.
+    SpillGuard guard;
+    guard.dir = make_spill_dir(cfg.spill_dir);
+    guard.armed = true;
+    std::unique_ptr<field::SeriesSource> spilled;
+    Timer spill_timer;
+    std::size_t max_snap_bytes = 0;
+    if (cfg.backend == "series") {
+      const std::string path = (guard.dir / "series.skl3").string();
+      store::SeriesWriter writer(path, cfg.store);
+      while (auto snap = bundle.producer->next()) {
+        max_snap_bytes = std::max(max_snap_bytes, snap->bytes());
+        writer.append(*snap);
+      }
+      // Check before close(): an empty series must fail with the
+      // producer-level message, not the store-internal one.
+      SICKLE_CHECK_MSG(writer.snapshots_appended() > 0,
+                       "producer yielded no snapshots");
+      const auto wr = writer.close();
+      report.store_bytes = wr.file_bytes;
+      report.ingest_peak_bytes = max_snap_bytes + wr.peak_buffered_bytes;
+      spilled = std::make_unique<store::SeriesReader>(
+          path, cfg.store.cache_bytes);
+    } else {  // skl2: one file per snapshot, written as produced
+      std::vector<std::string> paths;
+      paths.reserve(bundle.producer->num_snapshots());
+      std::size_t max_wave_bytes = 0;
+      std::size_t t = 0;
+      while (auto snap = bundle.producer->next()) {
+        max_snap_bytes = std::max(max_snap_bytes, snap->bytes());
+        paths.push_back(
+            (guard.dir / ("snap_" + std::to_string(t++) + ".skl2"))
+                .string());
+        const auto wr = store::write_store(*snap, paths.back(), cfg.store);
+        report.store_bytes += wr.file_bytes;
+        max_wave_bytes = std::max(max_wave_bytes, wr.peak_buffered_bytes);
+      }
+      SICKLE_CHECK_MSG(!paths.empty(), "producer yielded no snapshots");
+      report.ingest_peak_bytes = max_snap_bytes + max_wave_bytes;
+      spilled = std::make_unique<Skl2FilesSeries>(std::move(paths),
+                                                 cfg.store.cache_bytes);
+    }
+    report.sampling_seconds += spill_timer.seconds();
+
+    const auto selected = selection_stage(*spilled, cfg, report);
+    data = sampling_stage(*spilled, std::span<const std::size_t>(selected),
+                          cfg, report, sampling_energy);
+
+    spilled.reset();
+    guard.remove_now();
+  }
+  report.sampling_kilojoules = sampling_energy.projected_kilojoules();
+
+  training_stage(data, cfg, report);
   return report;
 }
 

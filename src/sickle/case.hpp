@@ -10,6 +10,15 @@
 /// straight into the training-set builder (no second pass over the raw
 /// data), and (D) training. All backends run the same stages, so sample
 /// sets are bit-identical across memory/skl2/series for lossless codecs.
+///
+/// Ingest comes in two modes. "materialize" builds the full in-RAM
+/// Dataset first (the only choice for the memory backend). "streaming"
+/// consumes a flow::SnapshotProducer snapshot-at-a-time — simulate ->
+/// encode -> append -> drop — so no full Dataset ever exists for the
+/// skl2/series backends and peak ingest memory is bounded by one snapshot
+/// plus the writer's flush budget (CaseReport::ingest_peak_bytes,
+/// test-asserted). Both modes produce bit-identical stores, sample sets,
+/// and training tensors for lossless codecs.
 #pragma once
 
 #include <cstddef>
@@ -53,6 +62,13 @@ struct CaseConfig {
   /// sampling + training-set build out-of-core. Sample sets are identical
   /// across backends for lossless codecs, at any pipeline.threads value.
   std::string backend = "memory";
+  /// Ingest mode: "materialize" builds the full in-RAM Dataset before
+  /// stage A (today's default, bit-exact legacy behavior); "streaming"
+  /// feeds a SnapshotProducer straight into the spill store one snapshot
+  /// at a time (skl2/series backends; the memory backend always
+  /// materializes). Only meaningful for the ProducerBundle overload of
+  /// run_case — a DatasetBundle is materialized by definition.
+  std::string ingest = "materialize";
   store::StoreOptions store;  ///< chunking/codec knobs for spill backends
   /// Where spill backends place their temporary stores; empty = the
   /// system temp directory. The spill is removed once the training set is
@@ -73,6 +89,16 @@ struct CaseReport {
   /// Snapshot indices the temporal stage kept, ascending; empty when the
   /// stage is disabled (all snapshots were used).
   std::vector<std::size_t> selected_snapshots;
+  /// FNV-1a fingerprint of the sampled cubes (snapshot, cube id, point
+  /// indices, feature bit patterns) in pipeline order — equal across
+  /// backends/ingest modes/thread counts exactly when the sample sets are
+  /// bit-identical, which is what the e2e smoke CI job diffs.
+  std::uint64_t sample_hash = 0;
+  /// Streaming ingest only: high-water mark of one produced snapshot plus
+  /// the store writer's buffered encoded blocks — the "no full Dataset"
+  /// guarantee, bounded by one snapshot + write_budget (+ codec slack).
+  /// 0 for materialized ingest (the Dataset itself is the peak).
+  std::size_t ingest_peak_bytes = 0;
   ml::TrainReport train;
   double training_kilojoules = 0.0;
 
@@ -83,8 +109,18 @@ struct CaseReport {
 
 /// Run the full pipeline on a generated dataset bundle. The bundle's
 /// variable roles fill the pipeline config's variable lists when empty.
+/// A DatasetBundle is materialized by definition, so cfg.ingest is
+/// ignored here; use the ProducerBundle overload for streaming ingest.
 [[nodiscard]] CaseReport run_case(const DatasetBundle& bundle,
                                   CaseConfig cfg);
+
+/// Generator-driven form: with cfg.ingest == "streaming" and a spill
+/// backend (skl2/series), snapshots flow simulate -> encode -> append ->
+/// drop and no full Dataset ever exists; with "materialize" (or the
+/// memory backend) the producer is drained into a DatasetBundle first.
+/// Sample sets and training tensors are bit-identical across all backend
+/// x ingest combinations for lossless codecs. The producer is consumed.
+[[nodiscard]] CaseReport run_case(ProducerBundle& bundle, CaseConfig cfg);
 
 /// Build the supervised TensorDataset for a given architecture from the
 /// sampling result (exposed for tests and custom training loops).

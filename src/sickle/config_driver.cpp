@@ -34,6 +34,14 @@ std::string dataset_label_from_config(const Config& cfg) {
   return cfg.get_str("shared", "dataset", "SST-P1F4");
 }
 
+double dataset_scale_from_config(const Config& cfg) {
+  const double scale = cfg.get_double("shared", "scale", 1.0);
+  if (!(scale > 0.0)) {
+    throw RuntimeError("shared scale must be > 0");
+  }
+  return scale;
+}
+
 sampling::PipelineConfig pipeline_from_config(const Config& cfg) {
   sampling::PipelineConfig pl;
   // Cube edges: the paper's --nxsl/--nysl/--nzsl.
@@ -117,6 +125,10 @@ CaseConfig case_from_config(const Config& cfg) {
   if (cc.backend != "memory" && cc.backend != "skl2" &&
       cc.backend != "series") {
     throw RuntimeError("unknown store backend: " + cc.backend);
+  }
+  cc.ingest = lower(cfg.get_str("store", "ingest", "materialize"));
+  if (cc.ingest != "materialize" && cc.ingest != "streaming") {
+    throw RuntimeError("unknown store ingest mode: " + cc.ingest);
   }
   cc.store = store_options_from_config(cfg);
   cc.spill_dir = cfg.get_str("store", "spill_dir", "");

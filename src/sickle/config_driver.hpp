@@ -21,6 +21,11 @@ namespace sickle {
 /// paper's `dtype`+`path` pair maps onto the generator zoo offline.
 [[nodiscard]] std::string dataset_label_from_config(const Config& cfg);
 
+/// Grid-scale multiplier for the generator zoo: `shared.scale` (default
+/// 1.0, must be > 0) — lets CI smoke configs shrink a case without a
+/// separate code path.
+[[nodiscard]] double dataset_scale_from_config(const Config& cfg);
+
 /// Build the sampling pipeline from the `shared` + `subsample` sections.
 /// Missing keys fall back to the same defaults the paper's CLI uses.
 /// `subsample.threads` maps onto PipelineConfig::threads (1 = serial,
@@ -32,11 +37,12 @@ namespace sickle {
 /// Build the store options from the `store` section:
 ///   store:
 ///     backend: skl2        # memory | skl2 | series (via case_from_config)
+///     ingest: streaming    # materialize | streaming (via case_from_config)
 ///     codec: delta         # raw | delta | quant
 ///     tolerance: 1e-6      # quant max abs error
 ///     chunk: 32            # cubic chunk edge; chunk_x/y/z override
 ///     cache_mb: 64         # reader block-cache capacity
-///     write_budget_mb: 8   # SKL3 streaming-writer flush budget
+///     write_budget_mb: 8   # streaming-writer flush budget (SKL2 v2 + SKL3)
 ///     spill_dir: /scratch  # spill placement (CaseConfig::spill_dir)
 [[nodiscard]] store::StoreOptions store_options_from_config(
     const Config& cfg);

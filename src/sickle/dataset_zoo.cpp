@@ -1,5 +1,6 @@
 #include "sickle/dataset_zoo.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -24,27 +25,30 @@ std::vector<std::string> dataset_labels() {
           "GESTS-8192"};
 }
 
-DatasetBundle make_dataset(const std::string& label, std::uint64_t seed,
-                           double scale) {
-  DatasetBundle b;
+ProducerBundle make_dataset_producer(const std::string& label,
+                                     std::uint64_t seed, double scale) {
+  ProducerBundle b;
   if (label == "TC2D") {
     flow::CombustionParams p;
     p.seed = seed;
-    p.nx = static_cast<std::size_t>(632 * std::sqrt(scale));
+    // Floor at 1: a tiny positive scale must degrade to the smallest
+    // grid, not a zero-extent one (SST/GESTS get this from scaled_pow2).
+    p.nx = std::max<std::size_t>(
+        1, static_cast<std::size_t>(632 * std::sqrt(scale)));
     p.ny = p.nx;
-    b.data = flow::generate_combustion(p);
+    b.producer = std::make_unique<flow::CombustionProducer>(p);
+    b.name = "TC2D";
     b.input_vars = {"C", "Cvar"};
     b.output_vars = {};
-    b.cluster_var = "C";
+    // std::string temporary dodges a GCC 12 -Wrestrict false positive on
+    // single-char const char* assignment (PR105580).
+    b.cluster_var = std::string("C");
     b.paper_size = "31MB (400k points, 1 step)";
   } else if (label == "OF2D") {
     flow::CylinderWakeParams p;
     p.seed = seed;
-    b.data = std::move([&] {
-      auto wake = flow::generate_cylinder_wake(p);
-      b.scalar_target = wake.drag;
-      return std::move(wake.dataset);
-    }());
+    b.producer = std::make_unique<flow::CylinderWakeProducer>(p);
+    b.name = "OF2D";
     b.input_vars = {"u", "v"};
     b.output_vars = {"p"};
     b.cluster_var = "wz";  // the paper's Fig. 3 clusters OF2D on vorticity
@@ -56,7 +60,8 @@ DatasetBundle make_dataset(const std::string& label, std::uint64_t seed,
     p.ny = scaled_pow2(64, scale);
     p.nz = scaled_pow2(32, scale);
     p.snapshots = 8;
-    b.data = flow::generate_stratified(p);
+    b.producer = std::make_unique<flow::StratifiedProducer>(p);
+    b.name = "SST";
     b.input_vars = {"u", "v", "w", "rho"};
     b.output_vars = {"p"};
     b.cluster_var = "pv";
@@ -73,14 +78,8 @@ DatasetBundle make_dataset(const std::string& label, std::uint64_t seed,
     p.vertical_damping = 0.2;
     p.intermittency = 0.9;
     p.snapshots = 4;
-    b.data = flow::generate_stratified(p);
-    b.data = [&] {
-      field::Dataset renamed("SST-P1F100");
-      for (std::size_t t = 0; t < b.data.num_snapshots(); ++t) {
-        renamed.push(b.data.snapshot(t));
-      }
-      return renamed;
-    }();
+    b.producer = std::make_unique<flow::StratifiedProducer>(p);
+    b.name = "SST-P1F100";
     b.input_vars = {"rho"};
     b.output_vars = {"eps"};
     b.cluster_var = "rho";
@@ -89,7 +88,8 @@ DatasetBundle make_dataset(const std::string& label, std::uint64_t seed,
     flow::IsotropicParams p;
     p.seed = seed;
     p.n = scaled_pow2(64, scale);
-    b.data = flow::generate_isotropic(p);
+    b.producer = std::make_unique<flow::IsotropicProducer>(p);
+    b.name = "GESTS";
     b.input_vars = {"u", "v", "w", "eps"};
     b.output_vars = {"p"};
     b.cluster_var = "enstrophy";
@@ -98,7 +98,8 @@ DatasetBundle make_dataset(const std::string& label, std::uint64_t seed,
     flow::IsotropicParams p;
     p.seed = seed + 2;
     p.n = scaled_pow2(128, scale);  // the "large" isotropic case
-    b.data = flow::generate_isotropic(p);
+    b.producer = std::make_unique<flow::IsotropicProducer>(p);
+    b.name = "GESTS";
     b.input_vars = {"u", "v", "w", "eps"};
     b.output_vars = {"p"};
     b.cluster_var = "enstrophy";
@@ -107,6 +108,23 @@ DatasetBundle make_dataset(const std::string& label, std::uint64_t seed,
     throw RuntimeError("unknown dataset label: " + label);
   }
   return b;
+}
+
+DatasetBundle materialize_bundle(ProducerBundle& bundle) {
+  DatasetBundle b;
+  b.data = flow::materialize(*bundle.producer, bundle.name);
+  b.scalar_target = bundle.producer->scalar_target();
+  b.input_vars = bundle.input_vars;
+  b.output_vars = bundle.output_vars;
+  b.cluster_var = bundle.cluster_var;
+  b.paper_size = bundle.paper_size;
+  return b;
+}
+
+DatasetBundle make_dataset(const std::string& label, std::uint64_t seed,
+                           double scale) {
+  ProducerBundle pb = make_dataset_producer(label, seed, scale);
+  return materialize_bundle(pb);
 }
 
 }  // namespace sickle

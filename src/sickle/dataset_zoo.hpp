@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "field/field.hpp"
+#include "flow/producer.hpp"
 
 namespace sickle {
 
@@ -26,11 +28,38 @@ struct DatasetBundle {
   std::string paper_size;  ///< the size the paper reports for this dataset
 };
 
+/// A dataset's variable roles plus a snapshot-at-a-time producer — the
+/// streaming-ingest twin of DatasetBundle. run_case can consume this
+/// without a full Dataset ever existing (backend skl2/series with
+/// ingest: streaming); make_dataset materializes it for in-RAM work.
+struct ProducerBundle {
+  std::unique_ptr<flow::SnapshotProducer> producer;
+  std::string name;  ///< Dataset name used when materializing
+  std::vector<std::string> input_vars;
+  std::vector<std::string> output_vars;
+  std::string cluster_var;
+  std::string paper_size;  ///< the size the paper reports for this dataset
+};
+
 /// Labels: "TC2D", "OF2D", "SST-P1F4", "SST-P1F100", "GESTS-2048",
-/// "GESTS-8192". Throws RuntimeError for unknown labels.
+/// "GESTS-8192". Throws RuntimeError for unknown labels. Materializes
+/// make_dataset_producer, so streamed and materialized snapshots are
+/// bit-identical by construction.
 [[nodiscard]] DatasetBundle make_dataset(const std::string& label,
                                          std::uint64_t seed = 42,
                                          double scale = 1.0);
+
+/// Streaming form of make_dataset: same labels, seeds, and scaling, but
+/// snapshots are produced lazily one at a time.
+[[nodiscard]] ProducerBundle make_dataset_producer(const std::string& label,
+                                                   std::uint64_t seed = 42,
+                                                   double scale = 1.0);
+
+/// Drain a ProducerBundle into the equivalent DatasetBundle — the single
+/// materialization point shared by make_dataset and run_case's
+/// ingest: materialize path, so the two can never diverge field by field.
+/// The producer is consumed.
+[[nodiscard]] DatasetBundle materialize_bundle(ProducerBundle& bundle);
 
 /// All known labels, in Table 1 order.
 [[nodiscard]] std::vector<std::string> dataset_labels();

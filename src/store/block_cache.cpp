@@ -101,6 +101,7 @@ std::vector<std::uint8_t> ReadOnlyFile::read(std::uint64_t offset,
     if (r <= 0) throw RuntimeError("truncated store file: " + path_);
     got += static_cast<std::size_t>(r);
   }
+  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
   return block;
 }
 

@@ -10,6 +10,7 @@
 /// rare concurrent same-key miss loads twice and the first insert wins.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -120,9 +121,16 @@ class ReadOnlyFile {
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
+  /// Total bytes fetched through read() over the file's lifetime — the
+  /// I/O accounting behind "selection scans the payload once" assertions.
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::string path_;
   int fd_ = -1;
+  mutable std::atomic<std::uint64_t> bytes_read_{0};
 };
 
 }  // namespace sickle::store

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -99,6 +100,28 @@ class ChunkLayout {
   field::GridShape chunk_;
   std::size_t ncx_ = 1, ncy_ = 1, ncz_ = 1;
 };
+
+/// Append one POD value's bytes to a serialization buffer — shared by the
+/// SKL2 and SKL3 index-section builders so the two cannot drift.
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& buf, const T& v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+/// FNV-1a 64-bit over a byte range — the integrity checksum guarding the
+/// SKL2/SKL3 index sections (and any other store metadata that must fail
+/// loudly on a corrupt byte rather than decode garbage).
+[[nodiscard]] inline std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes,
+    std::uint64_t seed = 1469598103934665603ull) {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 /// Copy one chunk's values out of a full field, z-fastest within the box —
 /// the writer-side twin of ChunkLayout::local_offset, shared by the SKL2

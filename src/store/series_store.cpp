@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -13,7 +14,11 @@ namespace sickle::store {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'K', 'L', '3'};
-constexpr std::uint32_t kVersion = 1;
+/// v1: trailing index of [time, block refs] per snapshot. v2 appends a
+/// per-snapshot per-field [min, max] summary to each index record and an
+/// FNV-1a checksum over the index section to the header.
+constexpr std::uint32_t kVersionLegacy = 1;
+constexpr std::uint32_t kVersionLatest = 2;
 
 template <typename T>
 void write_pod(std::ofstream& f, const T& v) {
@@ -84,8 +89,13 @@ class HeaderCursor {
 // ---------------------------------------------------------------- writer
 
 SeriesWriter::SeriesWriter(const std::string& path, const StoreOptions& opts)
-    : path_(path), opts_(opts), codec_(make_codec(opts.codec,
-                                                  opts.tolerance)) {
+    : path_(path),
+      opts_(opts),
+      version_(opts.format_version == 0 ? kVersionLatest
+                                        : opts.format_version),
+      codec_(make_codec(opts.codec, opts.tolerance)) {
+  SICKLE_CHECK_MSG(version_ >= kVersionLegacy && version_ <= kVersionLatest,
+                   "unsupported SKL3 format_version requested");
   // Open eagerly: an unwritable path must fail at construction, not after
   // the caller simulated its first snapshot.
   out_.open(path, std::ios::binary);
@@ -101,7 +111,7 @@ void SeriesWriter::append(const field::Snapshot& snap) {
     names_ = snap.names();
     SICKLE_CHECK_MSG(!names_.empty(), "cannot store a snapshot with no fields");
     out_.write(kMagic, 4);
-    write_pod<std::uint32_t>(out_, kVersion);
+    write_pod<std::uint32_t>(out_, version_);
     write_pod<std::uint64_t>(out_, snap.shape().nx);
     write_pod<std::uint64_t>(out_, snap.shape().ny);
     write_pod<std::uint64_t>(out_, snap.shape().nz);
@@ -119,6 +129,9 @@ void SeriesWriter::append(const field::Snapshot& snap) {
     patch_pos_ = static_cast<std::uint64_t>(out_.tellp());
     write_pod<std::uint64_t>(out_, 0);  // index_offset: 0 = not sealed
     write_pod<std::uint64_t>(out_, 0);  // num_snapshots
+    if (version_ >= 2) {
+      write_pod<std::uint64_t>(out_, 0);  // index checksum (patched)
+    }
     if (!out_) throw RuntimeError("error writing: " + path_);
     report_.meta_bytes = static_cast<std::size_t>(out_.tellp());
   } else {
@@ -134,50 +147,37 @@ void SeriesWriter::append(const field::Snapshot& snap) {
   report_.raw_bytes += snap.bytes();
   report_.chunks += total;
 
-  // Stream in waves: encode a raw-size-bounded run of blocks in parallel,
-  // flush it, drop it. Peak writer memory is one wave of encoded blocks
+  // Index-resident summary block (v2): the writer sees every value anyway,
+  // so per-variable [min, max] is one cheap extra scan here and saves the
+  // reader a full range pass over the series during temporal selection.
+  if (version_ >= 2) {
+    for (const auto& name : names_) {
+      const auto data = snap.get(name).data();
+      // Seed from +/-inf exactly like the reader-side fallback scan
+      // (sampling::snapshot_pmfs), so both paths skip NaNs identically —
+      // a NaN-seeded summary would silently poison the selection range.
+      field::VarRange r{std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity()};
+      for (const double x : data) {
+        r.min = std::min(r.min, x);
+        r.max = std::max(r.max, x);
+      }
+      summaries_.push_back(r);
+    }
+  }
+
+  // Stream in waves (write_blocks_in_waves, shared with the SKL2 v2
+  // writer): encode a raw-size-bounded run of blocks in parallel, flush
+  // it, drop it. Peak writer memory is one wave of encoded blocks
   // (<= budget + the codec's worst-case expansion) plus codec scratch —
   // never the snapshot, never the series.
-  const std::size_t budget = std::max<std::size_t>(
-      opts_.write_budget_bytes, layout_->box(0).points() * sizeof(double));
-  Timer encode_timer;
-  std::size_t wave_begin = 0;
-  while (wave_begin < total) {
-    std::size_t wave_end = wave_begin;
-    std::size_t wave_raw = 0;
-    while (wave_end < total) {
-      const std::size_t raw =
-          layout_->box(wave_end % nchunks).points() * sizeof(double);
-      if (wave_end > wave_begin && wave_raw + raw > budget) break;
-      wave_raw += raw;
-      ++wave_end;
-    }
-    std::vector<std::vector<std::uint8_t>> blocks(wave_end - wave_begin);
-    parallel_for(
-        blocks.size(),
-        [&](std::size_t i) {
-          const std::size_t b = wave_begin + i;
-          const auto& data = snap.get(names_[b / nchunks]).data();
-          const auto vals = extract_chunk(data, snap.shape(),
-                                          layout_->box(b % nchunks));
-          blocks[i] = codec_->encode(std::span<const double>(vals));
-        },
-        opts_.pool, /*grain=*/1);
-    std::size_t buffered = 0;
-    for (auto& b : blocks) {
-      index_.push_back(BlockRef{static_cast<std::uint64_t>(out_.tellp()),
-                                b.size()});
-      out_.write(reinterpret_cast<const char*>(b.data()),
-                 static_cast<std::streamsize>(b.size()));
-      buffered += b.size();
-      report_.payload_bytes += b.size();
-    }
-    report_.peak_buffered_bytes =
-        std::max(report_.peak_buffered_bytes, buffered);
-    if (!out_) throw RuntimeError("error writing: " + path_);
-    wave_begin = wave_end;
-  }
-  report_.encode_seconds += encode_timer.seconds();
+  const WaveWriteStats stats =
+      write_blocks_in_waves(snap, *layout_, names_, *codec_, opts_.pool,
+                            opts_.write_budget_bytes, out_, path_, index_);
+  report_.payload_bytes += stats.payload_bytes;
+  report_.peak_buffered_bytes =
+      std::max(report_.peak_buffered_bytes, stats.peak_buffered_bytes);
+  report_.encode_seconds += stats.encode_seconds;
 }
 
 SeriesWriteReport SeriesWriter::close() {
@@ -188,14 +188,30 @@ SeriesWriteReport SeriesWriter::close() {
   const std::uint64_t index_offset = static_cast<std::uint64_t>(out_.tellp());
   const std::size_t nfields = names_.size();
   const std::size_t nchunks = layout_->count();
+  // Build the index section in memory (it is O(series meta), tiny next to
+  // the payload) so the v2 checksum covers exactly the bytes on disk.
+  std::vector<std::uint8_t> section;
+  section.reserve(times_.size() *
+                  (sizeof(double) +
+                   (version_ >= 2 ? nfields * 2 * sizeof(double) : 0) +
+                   nfields * nchunks * 2 * sizeof(std::uint64_t)));
   for (std::size_t t = 0; t < times_.size(); ++t) {
-    write_pod<double>(out_, times_[t]);
+    append_pod<double>(section, times_[t]);
+    if (version_ >= 2) {
+      for (std::size_t f = 0; f < nfields; ++f) {
+        const field::VarRange& r = summaries_[t * nfields + f];
+        append_pod<double>(section, r.min);
+        append_pod<double>(section, r.max);
+      }
+    }
     for (std::size_t b = 0; b < nfields * nchunks; ++b) {
       const BlockRef& ref = index_[t * nfields * nchunks + b];
-      write_pod<std::uint64_t>(out_, ref.offset);
-      write_pod<std::uint64_t>(out_, ref.bytes);
+      append_pod<std::uint64_t>(section, ref.offset);
+      append_pod<std::uint64_t>(section, ref.bytes);
     }
   }
+  out_.write(reinterpret_cast<const char*>(section.data()),
+             static_cast<std::streamsize>(section.size()));
   const std::uint64_t end = static_cast<std::uint64_t>(out_.tellp());
   // Seal the container: only now does a reader accept it. A crash before
   // this point leaves index_offset = 0, which SeriesReader rejects with a
@@ -203,6 +219,10 @@ SeriesWriteReport SeriesWriter::close() {
   out_.seekp(static_cast<std::streamoff>(patch_pos_));
   write_pod<std::uint64_t>(out_, index_offset);
   write_pod<std::uint64_t>(out_, static_cast<std::uint64_t>(times_.size()));
+  if (version_ >= 2) {
+    write_pod<std::uint64_t>(
+        out_, fnv1a64(std::span<const std::uint8_t>(section)));
+  }
   out_.flush();
   if (!out_) throw RuntimeError("error writing: " + path_);
   out_.close();
@@ -233,8 +253,8 @@ SeriesReader::SeriesReader(const std::string& path, std::size_t cache_bytes,
   if (std::memcmp(magic, kMagic, 4) != 0) {
     throw RuntimeError("not an SKL3 series file: " + path);
   }
-  const auto version = head.read<std::uint32_t>();
-  if (version != kVersion) {
+  version_ = head.read<std::uint32_t>();
+  if (version_ < kVersionLegacy || version_ > kVersionLatest) {
     throw RuntimeError("unsupported SKL3 version in " + path);
   }
   field::GridShape grid;
@@ -274,6 +294,8 @@ SeriesReader::SeriesReader(const std::string& path, std::size_t cache_bytes,
                    "SKL3 chunk count does not match its grid/chunk shape");
   const auto index_offset = head.read<std::uint64_t>();
   const auto num_snapshots = head.read<std::uint64_t>();
+  const std::uint64_t index_checksum =
+      version_ >= 2 ? head.read<std::uint64_t>() : 0;
   if (index_offset == 0 || num_snapshots == 0) {
     throw RuntimeError(
         "SKL3 series has no index — the writer was not closed "
@@ -292,19 +314,41 @@ SeriesReader::SeriesReader(const std::string& path, std::size_t cache_bytes,
                        path);
   }
   const std::uint64_t blocks_per_snap = nfields * nchunks;
+  // v2 index records carry nfields [min, max] summary doubles after the
+  // snapshot time. (nfields < 1024 and num_snapshots < 2^24, so the
+  // summary term cannot overflow.)
+  const std::uint64_t summary_bytes =
+      version_ >= 2 ? nfields * 2 * sizeof(double) : 0;
   const std::uint64_t index_bytes =
-      num_snapshots * (sizeof(double) + blocks_per_snap * 2 * sizeof(std::uint64_t));
+      num_snapshots * (sizeof(double) + summary_bytes +
+                       blocks_per_snap * 2 * sizeof(std::uint64_t));
   if (index_offset > file_size || index_bytes > file_size - index_offset) {
     throw RuntimeError("SKL3 index points outside the file (truncated?): " +
                        path);
   }
 
   const auto raw_index = file_->read(index_offset, index_bytes);
+  // Verify integrity before parsing a single entry: any flipped byte in
+  // the index section must fail loudly, not seek to a "plausible" offset.
+  if (version_ >= 2 &&
+      fnv1a64(std::span<const std::uint8_t>(raw_index)) != index_checksum) {
+    throw RuntimeError("SKL3 index checksum mismatch (corrupt index): " +
+                       path);
+  }
   std::size_t ipos = 0;
   times_.reserve(num_snapshots);
   index_.resize(num_snapshots * blocks_per_snap);
+  if (version_ >= 2) summaries_.reserve(num_snapshots * nfields);
   for (std::uint64_t t = 0; t < num_snapshots; ++t) {
     times_.push_back(read_at<double>(raw_index, ipos, path));
+    if (version_ >= 2) {
+      for (std::uint64_t f = 0; f < nfields; ++f) {
+        field::VarRange r;
+        r.min = read_at<double>(raw_index, ipos, path);
+        r.max = read_at<double>(raw_index, ipos, path);
+        summaries_.push_back(r);
+      }
+    }
     for (std::uint64_t b = 0; b < blocks_per_snap; ++b) {
       BlockRef& ref = index_[t * blocks_per_snap + b];
       ref.offset = read_at<std::uint64_t>(raw_index, ipos, path);
@@ -325,6 +369,15 @@ SeriesReader::SeriesReader(const std::string& path, std::size_t cache_bytes,
   const std::size_t chunk_bytes =
       layout_.chunk_shape().size() * sizeof(double);
   cache_ = std::make_unique<BlockCache>(cache_bytes, chunk_bytes, shards);
+}
+
+std::optional<field::VarRange> SeriesReader::value_range(
+    std::size_t t, const std::string& var) const {
+  SICKLE_CHECK(t < times_.size());
+  if (summaries_.empty()) return std::nullopt;  // v1: no summary block
+  const auto it = field_index_.find(var);
+  SICKLE_CHECK_MSG(it != field_index_.end(), "unknown field: " + var);
+  return summaries_[t * names_.size() + it->second];
 }
 
 std::shared_ptr<const std::vector<double>> SeriesReader::chunk(

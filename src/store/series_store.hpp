@@ -11,8 +11,14 @@
 /// and the index is written and patched into the header only on close(),
 /// so writer memory stays O(budget + codec scratch + index) no matter how
 /// long the series grows. A file whose writer crashed before close() has
-/// no index and is rejected by SeriesReader with a clear error. Layout
-/// spec: docs/STORE.md.
+/// no index and is rejected by SeriesReader with a clear error.
+///
+/// Format v2 adds an *index-resident summary block* — per-snapshot
+/// per-variable [min, max] computed while the writer already sees every
+/// value — plus an FNV-1a checksum over the whole index section. Readers
+/// accept v1 files (no summary: value_range reports nullopt and consumers
+/// fall back to scanning); a corrupted v2 index fails the checksum with a
+/// clear error instead of decoding garbage. Layout spec: docs/STORE.md.
 #pragma once
 
 #include <cstddef>
@@ -89,13 +95,9 @@ class SeriesWriter {
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
-  struct BlockRef {
-    std::uint64_t offset = 0;
-    std::uint64_t bytes = 0;
-  };
-
   std::string path_;
   StoreOptions opts_;
+  std::uint32_t version_;  ///< format version being written (1 or 2)
   std::ofstream out_;
   std::unique_ptr<Codec> codec_;
   std::unique_ptr<ChunkLayout> layout_;  ///< set by the first append
@@ -103,6 +105,7 @@ class SeriesWriter {
   std::uint64_t patch_pos_ = 0;  ///< header position of index_offset
   std::vector<double> times_;    ///< one per appended snapshot
   std::vector<BlockRef> index_;  ///< [(t * nfields + f) * nchunks + c]
+  std::vector<field::VarRange> summaries_;  ///< [t * nfields + f], v2 only
   SeriesWriteReport report_;
   bool closed_ = false;
 };
@@ -164,6 +167,13 @@ class SeriesReader final : public field::SeriesSource {
     SICKLE_CHECK(t < times_.size());
     return times_[t];
   }
+  /// Index-resident summary (format v2): exact per-snapshot [min, max] of
+  /// one variable, read from the index without touching the payload.
+  /// nullopt for v1 files — consumers (temporal selection) then fall back
+  /// to a full range scan. For the lossy quant codec the summary reflects
+  /// the pre-encode values (within codec tolerance of the decoded ones).
+  [[nodiscard]] std::optional<field::VarRange> value_range(
+      std::size_t t, const std::string& var) const override;
 
   [[nodiscard]] const field::GridShape& shape() const noexcept {
     return layout_.grid();
@@ -192,6 +202,19 @@ class SeriesReader final : public field::SeriesSource {
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return cache_->shard_count();
   }
+  /// Container format version (1 = no summary block, 2 = summary block +
+  /// index checksum).
+  [[nodiscard]] std::uint32_t format_version() const noexcept {
+    return version_;
+  }
+  [[nodiscard]] bool has_summaries() const noexcept {
+    return !summaries_.empty();
+  }
+  /// Total bytes fetched from the file since open (header + index +
+  /// payload) — I/O accounting for single-pass assertions.
+  [[nodiscard]] std::uint64_t io_bytes_read() const noexcept {
+    return file_->bytes_read();
+  }
 
  private:
   friend class SeriesSnapshotView;
@@ -202,12 +225,14 @@ class SeriesReader final : public field::SeriesSource {
 
   std::unique_ptr<ReadOnlyFile> file_;
   ChunkLayout layout_{{1, 1, 1}, {1, 1, 1}};
+  std::uint32_t version_ = 0;
   std::vector<std::string> names_;
   std::map<std::string, std::size_t> field_index_;
   std::unique_ptr<Codec> codec_;
   std::string codec_name_;
   std::vector<double> times_;
   std::vector<BlockRef> index_;  ///< [(t * nfields + f) * nchunks + c]
+  std::vector<field::VarRange> summaries_;  ///< [t * nfields + f], v2 only
   std::vector<SeriesSnapshotView> views_;  ///< one borrowable view per t
   std::unique_ptr<BlockCache> cache_;
 };

@@ -12,7 +12,14 @@ namespace sickle::store {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'K', 'L', '2'};
-constexpr std::uint32_t kVersion = 1;
+/// v1 puts the chunk index *before* the payload, which forces the writer
+/// to buffer every encoded block until the index is known. v2 moves the
+/// index to the tail (SKL3-style): the header carries an index_offset
+/// patched on completion, blocks stream to disk in write-budget-bounded
+/// waves, and writer memory is bounded by the budget instead of the
+/// snapshot. Readers accept both.
+constexpr std::uint32_t kVersionLegacy = 1;
+constexpr std::uint32_t kVersionLatest = 2;
 
 template <typename T>
 void write_pod(std::ofstream& f, const T& v) {
@@ -29,19 +36,102 @@ T read_pod(std::ifstream& f) {
 
 }  // namespace
 
-StoreWriteReport write_store(const field::Snapshot& snap,
-                             const std::string& path,
-                             const StoreOptions& opts) {
+WaveWriteStats write_blocks_in_waves(const field::Snapshot& snap,
+                                     const ChunkLayout& layout,
+                                     const std::vector<std::string>& names,
+                                     const Codec& codec, ThreadPool* pool,
+                                     std::size_t budget_bytes,
+                                     std::ofstream& out,
+                                     const std::string& path,
+                                     std::vector<BlockRef>& index) {
+  const std::size_t nchunks = layout.count();
+  const std::size_t total = names.size() * nchunks;
+  const std::size_t budget = std::max<std::size_t>(
+      budget_bytes, layout.box(0).points() * sizeof(double));
+  WaveWriteStats stats;
+  std::size_t wave_begin = 0;
+  while (wave_begin < total) {
+    std::size_t wave_end = wave_begin;
+    std::size_t wave_raw = 0;
+    while (wave_end < total) {
+      const std::size_t raw =
+          layout.box(wave_end % nchunks).points() * sizeof(double);
+      if (wave_end > wave_begin && wave_raw + raw > budget) break;
+      wave_raw += raw;
+      ++wave_end;
+    }
+    std::vector<std::vector<std::uint8_t>> blocks(wave_end - wave_begin);
+    Timer encode_timer;
+    parallel_for(
+        blocks.size(),
+        [&](std::size_t i) {
+          const std::size_t b = wave_begin + i;
+          const auto& data = snap.get(names[b / nchunks]).data();
+          const auto vals =
+              extract_chunk(data, snap.shape(), layout.box(b % nchunks));
+          blocks[i] = codec.encode(std::span<const double>(vals));
+        },
+        pool, /*grain=*/1);
+    // encode_seconds is extract + encode only — stop the clock before the
+    // flush so storage benches report codec throughput, not disk speed.
+    stats.encode_seconds += encode_timer.seconds();
+    std::size_t buffered = 0;
+    for (auto& b : blocks) {
+      index.push_back(
+          BlockRef{static_cast<std::uint64_t>(out.tellp()), b.size()});
+      out.write(reinterpret_cast<const char*>(b.data()),
+                static_cast<std::streamsize>(b.size()));
+      buffered += b.size();
+      stats.payload_bytes += b.size();
+    }
+    stats.peak_buffered_bytes = std::max(stats.peak_buffered_bytes, buffered);
+    if (!out) throw RuntimeError("error writing: " + path);
+    wave_begin = wave_end;
+  }
+  return stats;
+}
+
+namespace {
+
+/// The SKL2 header up through nchunks — byte-identical between v1 and v2
+/// (only the version constant differs), so both layouts serialize it
+/// through this one helper and cannot drift.
+void write_skl2_header(std::ofstream& f, std::uint32_t version,
+                       const field::Snapshot& snap,
+                       const ChunkLayout& layout, const Codec& codec,
+                       double tolerance,
+                       const std::vector<std::string>& names) {
+  f.write(kMagic, 4);
+  write_pod<std::uint32_t>(f, version);
+  write_pod<std::uint64_t>(f, snap.shape().nx);
+  write_pod<std::uint64_t>(f, snap.shape().ny);
+  write_pod<std::uint64_t>(f, snap.shape().nz);
+  write_pod<double>(f, snap.time());
+  write_pod<std::uint64_t>(f, layout.chunk_shape().nx);
+  write_pod<std::uint64_t>(f, layout.chunk_shape().ny);
+  write_pod<std::uint64_t>(f, layout.chunk_shape().nz);
+  write_pod<std::uint8_t>(f, static_cast<std::uint8_t>(codec.id()));
+  write_pod<double>(f, tolerance);
+  write_pod<std::uint64_t>(f, names.size());
+  for (const auto& name : names) {
+    write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(name.size()));
+    f.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  write_pod<std::uint64_t>(f, layout.count());
+}
+
+/// Legacy v1 layout: encode everything, then index-before-payload. Kept
+/// (behind StoreOptions::format_version = 1) so compat tests and old
+/// tooling can still produce files every reader version understands.
+StoreWriteReport write_store_v1(const field::Snapshot& snap,
+                                const std::string& path,
+                                const StoreOptions& opts,
+                                std::ofstream& f) {
   const ChunkLayout layout(snap.shape(), opts.chunk);
   const auto codec = make_codec(opts.codec, opts.tolerance);
   const auto names = snap.names();
   const std::size_t nchunks = layout.count();
   const std::size_t total = names.size() * nchunks;
-
-  // Open the output before encoding: an unwritable path must fail in
-  // milliseconds, not after compressing a multi-GB snapshot.
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw RuntimeError("cannot open for write: " + path);
 
   // Encode every (field, chunk) block in parallel; blocks land in their
   // final order, so the serial write below is a straight concatenation.
@@ -60,24 +150,10 @@ StoreWriteReport write_store(const field::Snapshot& snap,
       },
       opts.pool, /*grain=*/1);
   report.encode_seconds = encode_timer.seconds();
+  for (const auto& b : blocks) report.peak_buffered_bytes += b.size();
 
-  f.write(kMagic, 4);
-  write_pod<std::uint32_t>(f, kVersion);
-  write_pod<std::uint64_t>(f, snap.shape().nx);
-  write_pod<std::uint64_t>(f, snap.shape().ny);
-  write_pod<std::uint64_t>(f, snap.shape().nz);
-  write_pod<double>(f, snap.time());
-  write_pod<std::uint64_t>(f, layout.chunk_shape().nx);
-  write_pod<std::uint64_t>(f, layout.chunk_shape().ny);
-  write_pod<std::uint64_t>(f, layout.chunk_shape().nz);
-  write_pod<std::uint8_t>(f, static_cast<std::uint8_t>(codec->id()));
-  write_pod<double>(f, opts.tolerance);
-  write_pod<std::uint64_t>(f, names.size());
-  for (const auto& name : names) {
-    write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(name.size()));
-    f.write(name.data(), static_cast<std::streamsize>(name.size()));
-  }
-  write_pod<std::uint64_t>(f, nchunks);
+  write_skl2_header(f, kVersionLegacy, snap, layout, *codec, opts.tolerance,
+                    names);
   // Payload starts right after the chunk index; deriving the offset from
   // the stream position keeps it correct if the header ever grows.
   std::uint64_t offset = static_cast<std::uint64_t>(f.tellp()) +
@@ -92,6 +168,76 @@ StoreWriteReport write_store(const field::Snapshot& snap,
     f.write(reinterpret_cast<const char*>(b.data()),
             static_cast<std::streamsize>(b.size()));
   }
+  if (!f) throw RuntimeError("error writing: " + path);
+  return report;
+}
+
+/// v2 layout: header with a patched index_offset, streamed payload in
+/// write-budget-bounded waves, trailing index. Writer memory is bounded
+/// by one wave of encoded blocks — never the snapshot.
+StoreWriteReport write_store_v2(const field::Snapshot& snap,
+                                const std::string& path,
+                                const StoreOptions& opts,
+                                std::ofstream& f) {
+  const ChunkLayout layout(snap.shape(), opts.chunk);
+  const auto codec = make_codec(opts.codec, opts.tolerance);
+  const auto names = snap.names();
+  const std::size_t nchunks = layout.count();
+  const std::size_t total = names.size() * nchunks;
+
+  StoreWriteReport report;
+  report.chunks = total;
+  report.raw_bytes = snap.bytes();
+
+  write_skl2_header(f, kVersionLatest, snap, layout, *codec, opts.tolerance,
+                    names);
+  const auto patch_pos = static_cast<std::uint64_t>(f.tellp());
+  write_pod<std::uint64_t>(f, 0);  // index_offset, patched below
+  write_pod<std::uint64_t>(f, 0);  // index_checksum, patched below
+
+  std::vector<BlockRef> index;
+  index.reserve(total);
+  const WaveWriteStats stats =
+      write_blocks_in_waves(snap, layout, names, *codec, opts.pool,
+                            opts.write_budget_bytes, f, path, index);
+  report.payload_bytes = stats.payload_bytes;
+  report.peak_buffered_bytes = stats.peak_buffered_bytes;
+  report.encode_seconds = stats.encode_seconds;
+
+  // Trailing index, checksummed like the SKL3 one: a flipped byte whose
+  // offsets still land inside the file must fail loudly on open, not
+  // decode garbage.
+  const auto index_offset = static_cast<std::uint64_t>(f.tellp());
+  std::vector<std::uint8_t> section;
+  section.reserve(index.size() * 2 * sizeof(std::uint64_t));
+  for (const auto& ref : index) {
+    append_pod<std::uint64_t>(section, ref.offset);
+    append_pod<std::uint64_t>(section, ref.bytes);
+  }
+  f.write(reinterpret_cast<const char*>(section.data()),
+          static_cast<std::streamsize>(section.size()));
+  f.seekp(static_cast<std::streamoff>(patch_pos));
+  write_pod<std::uint64_t>(f, index_offset);
+  write_pod<std::uint64_t>(f, fnv1a64(std::span<const std::uint8_t>(section)));
+  return report;
+}
+
+}  // namespace
+
+StoreWriteReport write_store(const field::Snapshot& snap,
+                             const std::string& path,
+                             const StoreOptions& opts) {
+  const std::uint32_t version =
+      opts.format_version == 0 ? kVersionLatest : opts.format_version;
+  SICKLE_CHECK_MSG(version >= kVersionLegacy && version <= kVersionLatest,
+                   "unsupported SKL2 format_version requested");
+  // Open the output before encoding: an unwritable path must fail in
+  // milliseconds, not after compressing a multi-GB snapshot.
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw RuntimeError("cannot open for write: " + path);
+  StoreWriteReport report = version == kVersionLegacy
+                                ? write_store_v1(snap, path, opts, f)
+                                : write_store_v2(snap, path, opts, f);
   f.flush();
   if (!f) throw RuntimeError("error writing: " + path);
   report.file_bytes = static_cast<std::size_t>(
@@ -109,7 +255,7 @@ ChunkReader::ChunkReader(const std::string& path, std::size_t cache_bytes,
     throw RuntimeError("not an SKL2 store file: " + path);
   }
   const auto version = read_pod<std::uint32_t>(file);
-  if (version != kVersion) {
+  if (version < kVersionLegacy || version > kVersionLatest) {
     throw RuntimeError("unsupported SKL2 version in " + path);
   }
   field::GridShape grid;
@@ -144,14 +290,58 @@ ChunkReader::ChunkReader(const std::string& path, std::size_t cache_bytes,
   index_.resize(nfields * nchunks);
   const auto file_size =
       static_cast<std::uint64_t>(std::filesystem::file_size(path));
-  for (auto& ref : index_) {
-    ref.offset = read_pod<std::uint64_t>(file);
-    ref.bytes = read_pod<std::uint64_t>(file);
-    // Reject corrupt index entries here rather than letting chunk() make
-    // an unchecked (possibly huge) allocation later.
-    if (ref.offset > file_size || ref.bytes > file_size - ref.offset) {
-      throw RuntimeError("SKL2 chunk index points outside the file: " +
+  if (version >= 2) {
+    // v2: the index sits at the tail; the header holds its offset (0
+    // means the writer never completed) and an FNV-1a checksum verified
+    // before any entry is parsed.
+    const auto index_offset = read_pod<std::uint64_t>(file);
+    const auto index_checksum = read_pod<std::uint64_t>(file);
+    const std::uint64_t index_bytes =
+        index_.size() * 2 * sizeof(std::uint64_t);
+    if (index_offset == 0) {
+      throw RuntimeError(
+          "SKL2 store has no index — the writer was not completed "
+          "(crashed or truncated write): " + path);
+    }
+    if (index_offset > file_size ||
+        index_bytes > file_size - index_offset) {
+      throw RuntimeError(
+          "SKL2 index points outside the file (truncated?): " + path);
+    }
+    file.seekg(static_cast<std::streamoff>(index_offset));
+    std::vector<std::uint8_t> section(index_bytes);
+    file.read(reinterpret_cast<char*>(section.data()),
+              static_cast<std::streamsize>(section.size()));
+    if (!file) throw RuntimeError("truncated SKL2 file");
+    if (fnv1a64(std::span<const std::uint8_t>(section)) != index_checksum) {
+      throw RuntimeError("SKL2 index checksum mismatch (corrupt index): " +
                          path);
+    }
+    std::size_t pos = 0;
+    auto take_u64 = [&section, &pos]() {
+      std::uint64_t v = 0;
+      std::memcpy(&v, section.data() + pos, sizeof(v));
+      pos += sizeof(v);
+      return v;
+    };
+    for (auto& ref : index_) {
+      ref.offset = take_u64();
+      ref.bytes = take_u64();
+      if (ref.offset > file_size || ref.bytes > file_size - ref.offset) {
+        throw RuntimeError("SKL2 chunk index points outside the file: " +
+                           path);
+      }
+    }
+  } else {
+    for (auto& ref : index_) {
+      ref.offset = read_pod<std::uint64_t>(file);
+      ref.bytes = read_pod<std::uint64_t>(file);
+      // Reject corrupt index entries here rather than letting chunk()
+      // make an unchecked (possibly huge) allocation later.
+      if (ref.offset > file_size || ref.bytes > file_size - ref.offset) {
+        throw RuntimeError("SKL2 chunk index points outside the file: " +
+                           path);
+      }
     }
   }
 

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -37,10 +38,16 @@ struct StoreOptions {
   double tolerance = 1e-6;             ///< quant max abs error
   std::size_t cache_bytes = 64ull << 20;  ///< reader block-cache capacity
   ThreadPool* pool = nullptr;          ///< encode pool; nullptr = global()
-  /// SeriesWriter streaming budget: encoded blocks are flushed to disk in
-  /// waves whose raw input stays under this bound, so writer memory is
-  /// O(budget + codec scratch) instead of O(snapshot).
+  /// Streaming-writer budget (SKL2 v2 write_store and SKL3 SeriesWriter):
+  /// encoded blocks are flushed to disk in waves whose raw input stays
+  /// under this bound, so writer memory is O(budget + codec scratch)
+  /// instead of O(snapshot).
   std::size_t write_budget_bytes = 8ull << 20;
+  /// Container format version to write; 0 = latest. Compat/testing knob:
+  /// 1 selects the legacy layouts (SKL2 index-before-payload buffering
+  /// writer; SKL3 without summary blocks or index checksum). Readers
+  /// accept every version they know.
+  std::uint32_t format_version = 0;
 };
 
 /// What write_store did, for benches and storage accounting.
@@ -50,6 +57,10 @@ struct StoreWriteReport {
   std::size_t raw_bytes = 0;      ///< nfields * grid points * sizeof(double)
   std::size_t chunks = 0;         ///< blocks written (nfields * layout count)
   double encode_seconds = 0.0;    ///< wall time in chunk extraction + encode
+  /// High-water mark of encoded blocks buffered in memory: one
+  /// write-budget-bounded wave for the v2 trailing-index layout, the whole
+  /// payload for legacy v1 (which needs the index before the payload).
+  std::size_t peak_buffered_bytes = 0;
 
   [[nodiscard]] double compression_ratio() const noexcept {
     return file_bytes == 0 ? 0.0
@@ -64,6 +75,36 @@ struct StoreWriteReport {
 StoreWriteReport write_store(const field::Snapshot& snap,
                              const std::string& path,
                              const StoreOptions& opts = {});
+
+/// One encoded block's location inside a container file — the index entry
+/// shared by the SKL2 v2 and SKL3 trailing indexes.
+struct BlockRef {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// What one wave-streamed snapshot write did (summed into the writers'
+/// reports).
+struct WaveWriteStats {
+  std::size_t payload_bytes = 0;
+  std::size_t peak_buffered_bytes = 0;
+  double encode_seconds = 0.0;  ///< chunk extraction + encode only, no I/O
+};
+
+/// The shared streaming scheme behind the SKL2 v2 writer and
+/// SeriesWriter::append: encode one snapshot's (field, chunk) blocks in
+/// parallel waves whose raw input stays under `budget_bytes` (floored at
+/// one chunk), flush each wave to `out`, and append a BlockRef per block
+/// to `index`. Peak writer memory is one wave of encoded blocks — never
+/// the snapshot. Throws RuntimeError on I/O failure.
+WaveWriteStats write_blocks_in_waves(const field::Snapshot& snap,
+                                     const ChunkLayout& layout,
+                                     const std::vector<std::string>& names,
+                                     const Codec& codec, ThreadPool* pool,
+                                     std::size_t budget_bytes,
+                                     std::ofstream& out,
+                                     const std::string& path,
+                                     std::vector<BlockRef>& index);
 
 /// Streaming reader over an SKL2 container.
 ///

@@ -32,6 +32,59 @@ TEST(DatasetZoo, Of2dCarriesDragTarget) {
   EXPECT_EQ(b.scalar_target.size(), b.data.num_snapshots());
 }
 
+TEST(DatasetZoo, ProducerBundleMirrorsMaterializedBundle) {
+  for (const auto& label : dataset_labels()) {
+    ProducerBundle pb = make_dataset_producer(label, 1, /*scale=*/0.25);
+    const auto b = make_dataset(label, 1, /*scale=*/0.25);
+    EXPECT_EQ(pb.input_vars, b.input_vars) << label;
+    EXPECT_EQ(pb.output_vars, b.output_vars) << label;
+    EXPECT_EQ(pb.cluster_var, b.cluster_var) << label;
+    EXPECT_EQ(pb.producer->num_snapshots(), b.data.num_snapshots()) << label;
+    // Drain and compare the first snapshot's bits: the producer is the
+    // source of truth for make_dataset, so these must be the same bytes.
+    const auto first = pb.producer->next();
+    ASSERT_TRUE(first.has_value()) << label;
+    const auto& want = b.data.snapshot(0);
+    ASSERT_EQ(first->names(), want.names()) << label;
+    for (const auto& name : want.names()) {
+      const auto a = first->get(name).data();
+      const auto w = want.get(name).data();
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        ASSERT_EQ(a[i], w[i]) << label << " " << name;
+      }
+    }
+  }
+  EXPECT_THROW(make_dataset_producer("NOPE"), RuntimeError);
+}
+
+TEST(Case, ProducerOverloadMaterializeMatchesDatasetOverload) {
+  // ingest: materialize (the default) through the producer overload must
+  // be byte-for-byte the legacy path.
+  CaseConfig cfg;
+  cfg.pipeline.cube = {8, 8, 8};
+  cfg.pipeline.hypercube_method = "random";
+  cfg.pipeline.point_method = "maxent";
+  cfg.pipeline.num_hypercubes = 3;
+  cfg.pipeline.num_samples = 51;
+  cfg.pipeline.num_clusters = 5;
+  cfg.pipeline.seed = 7;
+  cfg.arch = "MLP_Transformer";
+  cfg.train.epochs = 2;
+  cfg.train.batch = 4;
+  cfg.model_dim = 16;
+  cfg.model_heads = 2;
+  const auto direct = run_case(make_dataset("SST-P1F4", 3, 0.5), cfg);
+  ProducerBundle bundle = make_dataset_producer("SST-P1F4", 3, 0.5);
+  const auto via_producer = run_case(bundle, cfg);
+  EXPECT_EQ(via_producer.sample_hash, direct.sample_hash);
+  EXPECT_EQ(via_producer.sampled_points, direct.sampled_points);
+  EXPECT_EQ(via_producer.train.test_loss, direct.train.test_loss);
+
+  cfg.ingest = "teleport";
+  ProducerBundle bad = make_dataset_producer("SST-P1F4", 3, 0.5);
+  EXPECT_THROW((void)run_case(bad, cfg), CheckError);
+}
+
 TEST(DatasetZoo, SstIsAnisotropicGestsIsNot) {
   const auto sst = make_dataset("SST-P1F4", 2, 0.5);
   const auto gests = make_dataset("GESTS-2048", 2, 0.5);

@@ -187,6 +187,36 @@ TEST(ConfigDriver, StoreDefaultsAndErrors) {
                RuntimeError);
 }
 
+TEST(ConfigDriver, IngestModeAndScaleMapping) {
+  const auto cfg = Config::parse(R"(
+shared:
+  dataset: SST-P1F4
+  scale: 0.5
+store:
+  backend: series
+  ingest: Streaming
+)");
+  EXPECT_EQ(case_from_config(cfg).ingest, "streaming");
+  EXPECT_DOUBLE_EQ(dataset_scale_from_config(cfg), 0.5);
+
+  const auto defaults =
+      case_from_config(Config::parse("shared:\n  dataset: OF2D\n"));
+  EXPECT_EQ(defaults.ingest, "materialize");
+  EXPECT_DOUBLE_EQ(
+      dataset_scale_from_config(Config::parse("shared:\n  dataset: OF2D\n")),
+      1.0);
+
+  EXPECT_THROW(case_from_config(Config::parse(
+                   "store:\n  ingest: teleport\n")),
+               RuntimeError);
+  EXPECT_THROW((void)dataset_scale_from_config(Config::parse(
+                   "shared:\n  scale: 0\n")),
+               RuntimeError);
+  EXPECT_THROW((void)dataset_scale_from_config(Config::parse(
+                   "shared:\n  scale: -2\n")),
+               RuntimeError);
+}
+
 TEST(ConfigDriver, BadPrecisionThrows) {
   const auto cfg = Config::parse(
       "shared:\n  dataset: OF2D\ntrain:\n  precision: int3\n");

@@ -295,5 +295,96 @@ TEST(SpectralTurbulence, SnapshotsDecorrelateOverTime) {
   EXPECT_GT(std::abs(corr), 0.0);
 }
 
+// ------------------------------------------------------ snapshot producers
+
+/// Bit-exact equality of two datasets (shape, times, names, every value).
+void expect_datasets_identical(const field::Dataset& a,
+                               const field::Dataset& b) {
+  ASSERT_EQ(a.num_snapshots(), b.num_snapshots());
+  for (std::size_t t = 0; t < a.num_snapshots(); ++t) {
+    const auto& sa = a.snapshot(t);
+    const auto& sb = b.snapshot(t);
+    ASSERT_EQ(sa.shape(), sb.shape());
+    ASSERT_EQ(sa.time(), sb.time());
+    ASSERT_EQ(sa.names(), sb.names());
+    for (const auto& name : sa.names()) {
+      const auto da = sa.get(name).data();
+      const auto db = sb.get(name).data();
+      for (std::size_t i = 0; i < da.size(); ++i) {
+        ASSERT_EQ(da[i], db[i]) << name << "[" << i << "] @ t=" << t;
+      }
+    }
+  }
+}
+
+/// The streaming-ingest contract: producers must yield exactly the bits
+/// the batch generators return, or streamed and materialized runs would
+/// sample different points.
+TEST(Producer, StratifiedMatchesBatchGeneratorBitExact) {
+  StratifiedParams p;
+  p.nx = 16;
+  p.ny = 16;
+  p.nz = 8;
+  p.snapshots = 3;
+  p.seed = 21;
+  StratifiedProducer producer(p);
+  EXPECT_EQ(producer.num_snapshots(), 3u);
+  const auto streamed = materialize(producer, "SST");
+  expect_datasets_identical(streamed, generate_stratified(p));
+  EXPECT_EQ(producer.next(), std::nullopt);  // exhausted
+}
+
+TEST(Producer, IsotropicMatchesBatchGeneratorBitExact) {
+  IsotropicParams p;
+  p.n = 16;
+  p.snapshots = 2;
+  p.seed = 9;
+  IsotropicProducer producer(p);
+  const auto streamed = materialize(producer, "GESTS");
+  expect_datasets_identical(streamed, generate_isotropic(p));
+}
+
+TEST(Producer, CylinderMatchesBatchGeneratorBitExact) {
+  CylinderWakeParams p;
+  p.nx = 30;
+  p.ny = 24;
+  p.snapshots = 6;
+  p.seed = 77;
+  CylinderWakeProducer producer(p);
+  const auto streamed = materialize(producer, "OF2D");
+  const auto batch = generate_cylinder_wake(p);
+  expect_datasets_identical(streamed, batch.dataset);
+  // The drag target accumulates as snapshots are produced, with the same
+  // noise stream as the batch path.
+  ASSERT_EQ(producer.scalar_target().size(), batch.drag.size());
+  for (std::size_t t = 0; t < batch.drag.size(); ++t) {
+    EXPECT_EQ(producer.scalar_target()[t], batch.drag[t]);
+    EXPECT_EQ(producer.times()[t], batch.times[t]);
+  }
+}
+
+TEST(Producer, CombustionMatchesBatchGeneratorBitExact) {
+  CombustionParams p;
+  p.nx = 48;
+  p.ny = 48;
+  p.seed = 3;
+  CombustionProducer producer(p);
+  EXPECT_EQ(producer.num_snapshots(), 1u);
+  const auto streamed = materialize(producer, "TC2D");
+  expect_datasets_identical(streamed, generate_combustion(p));
+}
+
+TEST(Producer, DatasetProducerReplaysInOrder) {
+  StratifiedParams p;
+  p.nx = 8;
+  p.ny = 8;
+  p.nz = 8;
+  p.snapshots = 2;
+  const auto ds = generate_stratified(p);
+  DatasetProducer producer(ds);
+  const auto replayed = materialize(producer, "replay");
+  expect_datasets_identical(replayed, ds);
+}
+
 }  // namespace
 }  // namespace sickle::flow

@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -476,6 +477,216 @@ TEST_F(SeriesStoreTest, FailedCaseKeepsSpillInConfiguredDir) {
     if (entry.path().extension() == ".skl3") found = true;
   }
   EXPECT_TRUE(found);
+}
+
+// ----------------------------------------- v2 summary blocks + checksum
+
+TEST_F(SeriesStoreTest, SummaryBlocksCarryExactRanges) {
+  const auto ds = make_series(4);
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  SeriesWriter writer(path("sum.skl3"), opts);
+  for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
+    writer.append(ds.snapshot(t));
+  }
+  (void)writer.close();
+
+  const SeriesReader reader(path("sum.skl3"));
+  EXPECT_EQ(reader.format_version(), 2u);
+  EXPECT_TRUE(reader.has_summaries());
+  for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
+    for (const auto& name : ds.snapshot(t).names()) {
+      const auto r = reader.value_range(t, name);
+      ASSERT_TRUE(r.has_value());
+      const auto data = ds.snapshot(t).get(name).data();
+      EXPECT_EQ(r->min, *std::min_element(data.begin(), data.end()));
+      EXPECT_EQ(r->max, *std::max_element(data.begin(), data.end()));
+    }
+  }
+  EXPECT_THROW((void)reader.value_range(0, "nope"), CheckError);
+}
+
+TEST_F(SeriesStoreTest, LegacyV1FilesReadWithoutSummaries) {
+  const auto ds = make_series(3);
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  opts.format_version = 1;  // write the pre-summary layout
+  SeriesWriter writer(path("v1.skl3"), opts);
+  for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
+    writer.append(ds.snapshot(t));
+  }
+  (void)writer.close();
+
+  const SeriesReader reader(path("v1.skl3"));
+  EXPECT_EQ(reader.format_version(), 1u);
+  EXPECT_FALSE(reader.has_summaries());
+  EXPECT_EQ(reader.value_range(0, "u"), std::nullopt);
+  // Payload still round-trips.
+  const auto loaded = reader.load_snapshot(1);
+  const auto want = ds.snapshot(1).get("u").data();
+  const auto got = loaded.get("u").data();
+  for (std::size_t i = 0; i < want.size(); ++i) ASSERT_EQ(want[i], got[i]);
+  // And selection falls back to the two-pass scan with identical output.
+  sampling::TemporalConfig tc;
+  tc.variable = "u";
+  tc.num_snapshots = 2;
+  tc.bins = 16;
+  EXPECT_EQ(sampling::select_snapshots(reader, tc),
+            sampling::select_snapshots(field::DatasetSeriesSource(ds), tc));
+}
+
+/// The acceptance criterion: with summaries present, cold-store temporal
+/// selection touches each payload block ONCE (the range pass reads index
+/// metadata); without them it decodes everything twice. The cache is
+/// sized below the working set so a second pass cannot hide in it.
+TEST_F(SeriesStoreTest, SummariesHalveColdSelectionIo) {
+  const auto ds = make_series(6);
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  auto write_series = [&](const std::string& name, std::uint32_t version) {
+    opts.format_version = version;
+    SeriesWriter writer(path(name), opts);
+    for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
+      writer.append(ds.snapshot(t));
+    }
+    (void)writer.close();
+  };
+  write_series("two_pass.skl3", 1);
+  write_series("one_pass.skl3", 0);  // latest = v2
+
+  sampling::TemporalConfig tc;
+  tc.variable = "u";
+  tc.num_snapshots = 3;
+  tc.bins = 16;
+  const auto expected =
+      sampling::select_snapshots(field::DatasetSeriesSource(ds), tc);
+
+  // 12 chunks per field per snapshot (10x6x5 grid in 4^3 chunks).
+  const std::size_t blocks_per_var = 6 * 12;
+  const std::size_t tiny_cache = 2 * 4 * 4 * 4 * sizeof(double);
+
+  const SeriesReader two_pass(path("two_pass.skl3"), tiny_cache);
+  const auto two_open = two_pass.io_bytes_read();  // header + index
+  EXPECT_EQ(sampling::select_snapshots(two_pass, tc), expected);
+  EXPECT_GE(two_pass.cache_stats().misses, 2 * blocks_per_var);
+  const auto two_delta = two_pass.io_bytes_read() - two_open;
+
+  const SeriesReader one_pass(path("one_pass.skl3"), tiny_cache);
+  const auto one_open = one_pass.io_bytes_read();  // header + index
+  EXPECT_EQ(sampling::select_snapshots(one_pass, tc), expected);
+  // Bit-identical result, but every payload block decoded exactly once.
+  EXPECT_EQ(one_pass.cache_stats().misses, blocks_per_var);
+  const auto one_delta = one_pass.io_bytes_read() - one_open;
+  // Byte accounting agrees: the summary path reads u's payload once where
+  // the two-pass scan reads it twice (both files carry identical encoded
+  // payloads, so the halving is exact).
+  EXPECT_GT(one_delta, 0u);
+  EXPECT_EQ(2 * one_delta, two_delta);
+}
+
+TEST_F(SeriesStoreTest, IndexByteFlipFailsChecksum) {
+  const auto ds = make_series(2);
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  SeriesWriter writer(path("flip.skl3"), opts);
+  writer.append(ds.snapshot(0));
+  writer.append(ds.snapshot(1));
+  (void)writer.close();
+
+  // The v2 index is the trailing section; flip one byte near the tail.
+  const auto size = std::filesystem::file_size(path("flip.skl3"));
+  {
+    std::fstream f(path("flip.skl3"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(size - 5));
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(size - 5));
+    f.write(&b, 1);
+  }
+  try {
+    SeriesReader reader(path("flip.skl3"));
+    FAIL() << "flipped index byte must be rejected";
+  } catch (const RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(SeriesStoreTest, TruncationIntoIndexIsRejected) {
+  const auto ds = make_series(2);
+  SeriesWriter writer(path("midx.skl3"), {});
+  writer.append(ds.snapshot(0));
+  writer.append(ds.snapshot(1));
+  (void)writer.close();
+  // Chop a few bytes off the tail: the header still points at a sealed
+  // index, but the section no longer fits the file.
+  const auto full = std::filesystem::file_size(path("midx.skl3"));
+  std::filesystem::resize_file(path("midx.skl3"), full - 3);
+  EXPECT_THROW(SeriesReader(path("midx.skl3")), RuntimeError);
+}
+
+// ------------------------------------------------ generator-driven ingest
+
+/// The tentpole acceptance test: with ingest: streaming the case runner
+/// never materializes a Dataset — peak ingest memory is one snapshot plus
+/// the write budget (plus codec wave slack) — while sample sets and
+/// training losses stay bit-identical to the fully materialized memory
+/// backend.
+TEST_F(SeriesStoreTest, StreamingIngestBoundsMemoryAndMatchesMemoryBackend) {
+  CaseConfig cc = tiny_case();
+  const auto memory_report =
+      run_case(make_dataset("SST-P1F4", 3, 0.5), cc);
+  ASSERT_NE(memory_report.sample_hash, 0u);
+  EXPECT_EQ(memory_report.ingest_peak_bytes, 0u);  // materialized
+
+  cc.backend = "series";
+  cc.ingest = "streaming";
+  cc.store.chunk = {16, 16, 16};
+  cc.store.codec = "delta";
+  cc.store.write_budget_bytes = 1u << 20;
+  cc.spill_dir = (dir_ / "stream_spill").string();
+  ProducerBundle bundle = make_dataset_producer("SST-P1F4", 3, 0.5);
+  const std::size_t snapshot_bytes =
+      make_dataset("SST-P1F4", 3, 0.5).data.snapshot(0).bytes();
+  const auto streamed_report = run_case(bundle, cc);
+
+  EXPECT_EQ(streamed_report.sample_hash, memory_report.sample_hash);
+  EXPECT_EQ(streamed_report.sampled_points, memory_report.sampled_points);
+  EXPECT_EQ(streamed_report.train.test_loss, memory_report.train.test_loss);
+  EXPECT_EQ(streamed_report.selected_snapshots,
+            memory_report.selected_snapshots);
+
+  // Peak ingest memory: one live snapshot + one flush wave. The wave's
+  // encoded bytes may exceed the raw budget by the codec's worst-case
+  // expansion; 2x budget is far beyond any real codec overhead.
+  EXPECT_GT(streamed_report.ingest_peak_bytes, 0u);
+  EXPECT_LE(streamed_report.ingest_peak_bytes,
+            snapshot_bytes + 2 * cc.store.write_budget_bytes);
+  EXPECT_GT(streamed_report.store_bytes, 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir_ / "stream_spill"));
+}
+
+/// Streaming ingest through per-snapshot SKL2 files: same contract, one
+/// container per snapshot instead of one series.
+TEST_F(SeriesStoreTest, StreamingSkl2IngestMatchesMemoryBackend) {
+  CaseConfig cc = tiny_case();
+  const auto memory_report =
+      run_case(make_dataset("SST-P1F4", 4, 0.5), cc);
+
+  cc.backend = "skl2";
+  cc.ingest = "streaming";
+  cc.store.codec = "raw";
+  cc.store.write_budget_bytes = 1u << 20;
+  cc.spill_dir = (dir_ / "skl2_spill").string();
+  ProducerBundle bundle = make_dataset_producer("SST-P1F4", 4, 0.5);
+  const auto streamed_report = run_case(bundle, cc);
+
+  EXPECT_EQ(streamed_report.sample_hash, memory_report.sample_hash);
+  EXPECT_EQ(streamed_report.train.test_loss, memory_report.train.test_loss);
+  EXPECT_GT(streamed_report.ingest_peak_bytes, 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir_ / "skl2_spill"));
 }
 
 }  // namespace

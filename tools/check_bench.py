@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare an emitted BENCH_*.json against its
+committed baseline in bench/baselines/.
+
+Usage:
+    python3 tools/check_bench.py CURRENT.json BASELINE.json [--tolerance F]
+
+Exit status 1 when any record regresses beyond the tolerance factor,
+0 otherwise. Records are matched by their "name" key; the compared metric
+is "ns_per_op" when present (google-benchmark kernels), otherwise
+"sim_time_s" (the fig7 scalability model). Lower is better for both.
+
+The tolerance is deliberately generous (default 3.0x): shared CI runners
+have noisy neighbours and frequency scaling, so this gate catches
+order-of-magnitude regressions and algorithmic accidents, not single-digit
+percent drift. Records present only on one side are reported but never
+fail the gate (benches grow and shrink across PRs; a *removed* baseline
+should be refreshed, not block unrelated work).
+
+Refreshing baselines after an intentional perf change:
+    ./build/bench_kernels            # emits BENCH_kernels.json
+    ./build/bench_fig7_scalability   # emits BENCH_fig7_scalability.json
+    cp BENCH_kernels.json BENCH_fig7_scalability.json bench/baselines/
+and commit the result (docs/PERF.md describes the measurement setup).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    records = {}
+    for rec in doc.get("records", []):
+        name = rec.get("name")
+        if name is not None:
+            records[name] = rec
+    return records
+
+
+def metric_of(rec):
+    for key in ("ns_per_op", "sim_time_s"):
+        if key in rec:
+            return key, float(rec[key])
+    return None, None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly emitted BENCH_*.json")
+    parser.add_argument("baseline", help="committed bench/baselines/*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="fail when current > baseline * TOLERANCE (default 3.0)",
+    )
+    args = parser.parse_args()
+
+    current = load_records(args.current)
+    baseline = load_records(args.baseline)
+
+    regressions = []
+    compared = 0
+    for name, base_rec in sorted(baseline.items()):
+        cur_rec = current.get(name)
+        if cur_rec is None:
+            print(f"note: baseline record not in current run: {name}")
+            continue
+        base_key, base_val = metric_of(base_rec)
+        cur_key, cur_val = metric_of(cur_rec)
+        if base_val is None or cur_val is None or base_val <= 0:
+            continue
+        compared += 1
+        ratio = cur_val / base_val
+        status = "OK"
+        if ratio > args.tolerance:
+            status = "REGRESSION"
+            regressions.append((name, base_key, base_val, cur_val, ratio))
+        print(
+            f"{status:>10}  {name}: {base_key} {base_val:.4g} -> "
+            f"{cur_val:.4g}  ({ratio:.2f}x)"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: new record without a baseline: {name}")
+
+    if compared == 0:
+        print("error: no comparable records between the two files")
+        return 1
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.tolerance:.2f}x tolerance:"
+        )
+        for name, key, base_val, cur_val, ratio in regressions:
+            print(f"  {name}: {key} {base_val:.4g} -> {cur_val:.4g} ({ratio:.2f}x)")
+        print(
+            "If this change is intentional, refresh bench/baselines/ "
+            "(see the module docstring)."
+        )
+        return 1
+    print(f"\nall {compared} compared records within {args.tolerance:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end smoke: run the config-driven case runner on a tiny dataset
+# for every backend (memory | skl2 | series) x ingest mode (materialize |
+# streaming) and verify that the sample-set hash and the test loss are
+# identical across all six runs — the bit-identity contract the staged
+# orchestrator promises for lossless codecs.
+#
+# Usage: tools/e2e_smoke.sh [path/to/sickle_train]
+# Local repro:  cmake -B build -S . && cmake --build build -j --target sickle_train
+#               tools/e2e_smoke.sh build/sickle_train
+set -euo pipefail
+
+BIN=${1:-build/sickle_train}
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN is not an executable (build the sickle_train tool first)" >&2
+  exit 2
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+ref_hash=""
+ref_loss=""
+ref_combo=""
+for backend in memory skl2 series; do
+  for ingest in materialize streaming; do
+    cfg="$workdir/case_${backend}_${ingest}.yaml"
+    cat > "$cfg" <<EOF
+shared:
+  dataset: SST-P1F4
+  scale: 0.5
+  seed: 3
+
+subsample:
+  hypercubes: random
+  method: maxent
+  num_hypercubes: 3
+  num_samples: 51
+  num_clusters: 5
+  nxsl: 8
+  nysl: 8
+  nzsl: 8
+
+store:
+  backend: $backend
+  ingest: $ingest
+  codec: delta
+  chunk: 16
+  write_budget_mb: 1
+  spill_dir: $workdir/spill
+
+train:
+  arch: MLP_transformer
+  epochs: 2
+  batch: 4
+  dim: 16
+  heads: 2
+EOF
+    echo "=== backend=$backend ingest=$ingest"
+    out=$("$BIN" "$cfg")
+    echo "$out" | grep -E "sample set hash|sampled points|Evaluation on test set|ingest peak"
+    hash=$(echo "$out" | sed -n 's/^sample set hash: //p')
+    loss=$(echo "$out" | sed -n 's/^Evaluation on test set: //p')
+    if [[ -z "$hash" || -z "$loss" ]]; then
+      echo "error: missing hash/loss in output for $backend/$ingest" >&2
+      exit 1
+    fi
+    if [[ -z "$ref_hash" ]]; then
+      ref_hash="$hash"
+      ref_loss="$loss"
+      ref_combo="$backend/$ingest"
+    elif [[ "$hash" != "$ref_hash" || "$loss" != "$ref_loss" ]]; then
+      echo "error: $backend/$ingest diverged from $ref_combo:" >&2
+      echo "  hash $hash vs $ref_hash, loss $loss vs $ref_loss" >&2
+      exit 1
+    fi
+  done
+done
+
+echo
+echo "OK: all 6 backend x ingest combinations bit-identical"
+echo "    sample set hash: $ref_hash"
+echo "    test loss:       $ref_loss"

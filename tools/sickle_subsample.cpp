@@ -38,7 +38,9 @@ int main(int argc, char** argv) {
     const Config cfg = Config::load(argv[1]);
     const std::string label = dataset_label_from_config(cfg);
     std::printf("dataset: %s\n", label.c_str());
-    DatasetBundle bundle = make_dataset(label);
+    DatasetBundle bundle = make_dataset(
+        label, static_cast<std::uint64_t>(cfg.get_int("shared", "seed", 42)),
+        dataset_scale_from_config(cfg));
 
     auto pl = pipeline_from_config(cfg);
     if (pl.input_vars.empty()) pl.input_vars = bundle.input_vars;

@@ -4,7 +4,12 @@
 //
 // Runs the full case (subsample -> train -> evaluate) and prints the lines
 // the paper's analysis greps for: "Evaluation on test set" and
-// "Total Energy Consumed".
+// "Total Energy Consumed". The dataset flows through the generator
+// producer, so `store.ingest: streaming` with an skl2/series backend
+// runs the whole T1 path without materializing a Dataset. The
+// "sample set hash" line fingerprints the sampled cubes — CI diffs it
+// across backend x ingest combinations to prove bit-identity.
+#include <cinttypes>
 #include <cstdio>
 
 #include "sickle/config_driver.hpp"
@@ -19,17 +24,24 @@ int main(int argc, char** argv) {
     const Config cfg = Config::load(argv[1]);
     const std::string label = dataset_label_from_config(cfg);
     std::printf("dataset: %s\n", label.c_str());
-    const DatasetBundle bundle = make_dataset(label);
     const CaseConfig cc = case_from_config(cfg);
+    ProducerBundle bundle = make_dataset_producer(
+        label, static_cast<std::uint64_t>(cfg.get_int("shared", "seed", 42)),
+        dataset_scale_from_config(cfg));
 
     std::printf("arch: %s | epochs %zu | batch %zu | sampling %s/%s @ %zu "
-                "per cube\n",
+                "per cube | backend %s | ingest %s\n",
                 cc.arch.c_str(), cc.train.epochs, cc.train.batch,
                 cc.pipeline.hypercube_method.c_str(),
-                cc.pipeline.point_method.c_str(), cc.pipeline.num_samples);
+                cc.pipeline.point_method.c_str(), cc.pipeline.num_samples,
+                cc.backend.c_str(), cc.ingest.c_str());
     const CaseReport report = run_case(bundle, cc);
 
     std::printf("sampled points: %zu\n", report.sampled_points);
+    std::printf("sample set hash: %016" PRIx64 "\n", report.sample_hash);
+    if (report.ingest_peak_bytes > 0) {
+      std::printf("ingest peak bytes: %zu\n", report.ingest_peak_bytes);
+    }
     std::printf("model parameters: %zu\n", report.train.parameters);
     std::printf("final train loss: %.6f\n", report.train.final_train_loss);
     std::printf("Evaluation on test set: %.6f\n", report.train.test_loss);
