@@ -5,6 +5,8 @@
 // against the committed baseline in bench/baselines/ (docs/PERF.md).
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <cmath>
 #include <cstring>
 #include <thread>
 
@@ -20,6 +22,7 @@
 #include "sampling/point_samplers.hpp"
 #include "stats/entropy.hpp"
 #include "stats/histogram.hpp"
+#include "store/codec.hpp"
 
 namespace {
 
@@ -200,6 +203,177 @@ void BM_CubeScoringFused(benchmark::State& state) {
                           fx.snap.shape().size());
 }
 BENCHMARK(BM_CubeScoringFused);
+
+// ------------------------------------------------------------ SIMD kernels
+//
+// The three `#pragma omp simd` hot loops, each paired with a scalar
+// reference row so the committed BENCH_kernels.json records what
+// vectorization buys on the runner's ISA (the reference container is
+// SSE4.2/AVX). The shipping paths are the library calls; the *ScalarRef
+// twins re-state the same arithmetic as plain serial loops.
+
+void BM_HistogramAccumulate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  std::vector<double> data(n);
+  for (auto& x : data) x = rng.normal();
+  const auto ref = stats::Histogram::fit(data, 100);
+  for (auto _ : state) {
+    stats::Histogram h(ref.lo(), ref.hi(), 100);
+    h.add(std::span<const double>(data));
+    benchmark::DoNotOptimize(h.total());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * sizeof(double)));
+}
+BENCHMARK(BM_HistogramAccumulate)->Arg(1 << 16);
+
+void BM_HistogramAccumulateScalarRef(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  std::vector<double> data(n);
+  for (auto& x : data) x = rng.normal();
+  const auto ref = stats::Histogram::fit(data, 100);
+  for (auto _ : state) {
+    std::vector<std::uint64_t> counts(100, 0);
+    for (const double x : data) ++counts[ref.bin_of(x)];
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * sizeof(double)));
+}
+BENCHMARK(BM_HistogramAccumulateScalarRef)->Arg(1 << 16);
+
+void BM_AssignBatch1D(benchmark::State& state) {
+  const auto& fx = CubeScoringFixture::instance();
+  const auto& values = fx.snap.get("cv").data();
+  std::vector<std::uint32_t> labels(values.size());
+  for (auto _ : state) {
+    fx.clusters.assign_batch(std::span<const double>(values),
+                             std::span<std::uint32_t>(labels));
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_AssignBatch1D);
+
+void BM_AssignBatch1DScalarRef(benchmark::State& state) {
+  // The pre-interchange fused loop: per point, scan a local centroid
+  // table. No span construction or per-centroid calls, but the argmin
+  // recurrence is serial per point.
+  const auto& fx = CubeScoringFixture::instance();
+  const auto& values = fx.snap.get("cv").data();
+  std::vector<std::uint32_t> labels(values.size());
+  const std::size_t kk = fx.clusters.k;
+  for (auto _ : state) {
+    const double* c = fx.clusters.centroids.data();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double v = values[i];
+      double best_d = std::numeric_limits<double>::infinity();
+      std::uint32_t best = 0;
+      for (std::size_t j = 0; j < kk; ++j) {
+        const double d = (v - c[j]) * (v - c[j]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<std::uint32_t>(j);
+        }
+      }
+      labels[i] = best;
+    }
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_AssignBatch1DScalarRef);
+
+std::vector<double> codec_bench_values(std::size_t n) {
+  // f32-native smooth data: the case gorilla's window logic targets.
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = 300.0 + std::sin(0.01 * static_cast<double>(i));
+    v[i] = static_cast<double>(static_cast<float>(x));
+  }
+  return v;
+}
+
+template <const char* Name>
+void BM_CodecEncode(benchmark::State& state) {
+  const auto codec = store::make_codec(Name);
+  const auto values = codec_bench_values(1 << 15);
+  for (auto _ : state) {
+    auto block = codec->encode(values);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size() *
+                                               sizeof(double)));
+}
+
+template <const char* Name>
+void BM_CodecDecode(benchmark::State& state) {
+  const auto codec = store::make_codec(Name);
+  const auto values = codec_bench_values(1 << 15);
+  const auto block = codec->encode(values);
+  for (auto _ : state) {
+    auto out = codec->decode(block, values.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size() *
+                                               sizeof(double)));
+}
+
+constexpr char kDelta[] = "delta";
+constexpr char kGorilla[] = "gorilla";
+BENCHMARK_TEMPLATE(BM_CodecEncode, kDelta);
+BENCHMARK_TEMPLATE(BM_CodecEncode, kGorilla);
+BENCHMARK_TEMPLATE(BM_CodecDecode, kDelta);
+BENCHMARK_TEMPLATE(BM_CodecDecode, kGorilla);
+
+// The codec encoders' vectorized prologue in isolation: the XOR stencil
+// that feeds the serial bit emission, exactly as shipped (pure 64-bit
+// integer lanes under `#pragma omp simd`) vs the same loop left to the
+// compiler's serial codegen.
+void BM_CodecXorStencilSimd(benchmark::State& state) {
+  const auto values = codec_bench_values(1 << 15);
+  const std::size_t n = values.size();
+  std::vector<std::uint64_t> xors(n);
+  for (auto _ : state) {
+    const double* vals = values.data();
+#pragma omp simd
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto u = std::bit_cast<std::uint64_t>(vals[i]);
+      const auto p =
+          i == 0 ? u : std::bit_cast<std::uint64_t>(vals[i - 1]);
+      xors[i] = u ^ p;
+    }
+    benchmark::DoNotOptimize(xors.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * sizeof(double)));
+}
+BENCHMARK(BM_CodecXorStencilSimd);
+
+void BM_CodecXorStencilScalar(benchmark::State& state) {
+  const auto values = codec_bench_values(1 << 15);
+  const std::size_t n = values.size();
+  std::vector<std::uint64_t> xors(n);
+  for (auto _ : state) {
+    std::uint64_t prev = std::bit_cast<std::uint64_t>(values[0]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto u = std::bit_cast<std::uint64_t>(values[i]);
+      xors[i] = u ^ prev;
+      prev = u;
+      benchmark::DoNotOptimize(prev);  // pin the serial dependency chain
+    }
+    benchmark::DoNotOptimize(xors.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * sizeof(double)));
+}
+BENCHMARK(BM_CodecXorStencilScalar);
 
 void BM_Matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

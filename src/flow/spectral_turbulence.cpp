@@ -335,6 +335,13 @@ struct SpectralTurbulenceProducer::Impl {
     if (p.with_pressure) {
       snap.add("p", pressure_poisson(snap));
     }
+    if (p.native_f32) {
+      for (const auto& name : snap.names()) {
+        for (double& x : snap.get(name).data()) {
+          x = static_cast<double>(static_cast<float>(x));
+        }
+      }
+    }
     return snap;
   }
 };

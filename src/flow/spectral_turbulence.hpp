@@ -49,6 +49,12 @@ struct SpectralTurbulenceParams {
   double dt = 0.25;            ///< snapshot spacing
   double viscosity = 2e-3;     ///< decay rate nu*k^2 between snapshots
   double sweep_velocity = 0.5; ///< random-sweep advection magnitude
+  /// Round every emitted value through IEEE-754 binary32, matching the
+  /// native storage precision of the paper's solver dumps (BLASTNet-style
+  /// collections ship single-precision). Values stay doubles, but the low
+  /// 29 mantissa bits are zero — the structure bit-granular lossless
+  /// codecs (gorilla) exploit. Default off: full double precision.
+  bool native_f32 = false;
   std::uint64_t seed = 1;
 };
 

@@ -28,9 +28,12 @@ Histogram Histogram::fit(std::span<const double> data, std::size_t bins) {
 }
 
 std::size_t Histogram::bin_of(double x) const noexcept {
+  // Truncation, not floor: they differ only for negative t, and
+  // clamp_index sends every negative index to bin 0 either way. Skipping
+  // floor matters because baseline x86-64 lowers std::floor to a libm
+  // call (no roundsd before SSE4.1), which would dominate this kernel.
   const double t = (x - lo_) / width_;
-  const auto i = static_cast<std::ptrdiff_t>(std::floor(t));
-  return clamp_index(i, counts_.size());
+  return clamp_index(static_cast<std::ptrdiff_t>(t), counts_.size());
 }
 
 double Histogram::center(std::size_t i) const noexcept {
@@ -43,7 +46,32 @@ void Histogram::add(double x) noexcept {
 }
 
 void Histogram::add(std::span<const double> xs) noexcept {
-  for (const double x : xs) add(x);
+  // Blockwise accumulate: the bin-index arithmetic is elementwise and
+  // identical to bin_of (so results stay bit-identical to add(x) one at a
+  // time) and vectorizes; only the counter scatter, whose lanes can
+  // collide on one bin, stays scalar.
+  // The vector loop stays all-double (sub + div only — no lane-width
+  // changes, so it vectorizes even on 128-bit ISAs); the truncating
+  // double->index conversion rides along in the scalar scatter, matching
+  // bin_of exactly.
+  constexpr std::size_t kBlock = 256;
+  double fidx[kBlock];
+  const std::size_t nbins = counts_.size();
+  const double lo = lo_;
+  const double width = width_;
+  std::size_t i = 0;
+  for (; i + kBlock <= xs.size(); i += kBlock) {
+    const double* x = xs.data() + i;
+#pragma omp simd
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      fidx[j] = (x[j] - lo) / width;
+    }
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      ++counts_[clamp_index(static_cast<std::ptrdiff_t>(fidx[j]), nbins)];
+    }
+  }
+  for (; i < xs.size(); ++i) ++counts_[bin_of(xs[i])];
+  total_ += xs.size();
 }
 
 std::vector<double> Histogram::pmf() const {

@@ -1,0 +1,108 @@
+/// @file bit_stream.hpp
+/// @brief LSB-first bit-granular writer/reader for variable-width codecs.
+///
+/// The Gorilla codec (codec.hpp) emits fields of 1..64 bits; these helpers
+/// pack them into a byte vector in LSB-first order, matching the bit order
+/// the quant codec already uses for its level packing. BitReader bounds-
+/// checks every read and throws RuntimeError on exhaustion so truncated or
+/// spliced blocks surface as typed errors, never as out-of-range reads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sickle::store {
+
+/// Appends bit fields LSB-first into a growing byte buffer.
+class BitWriter {
+ public:
+  /// Append the low `bits` bits of `v` (0 <= bits <= 64).
+  void put(std::uint64_t v, unsigned bits) {
+    if (bits == 0) return;
+    if (bits < 64) v &= (std::uint64_t{1} << bits) - 1;
+    if (nbits_ + bits > 64) {
+      // Split so the shift below never discards pending bits. The first
+      // half fills the accumulator to exactly 64 bits (a multiple of 8,
+      // so it drains completely) and the second half restarts empty.
+      const unsigned first = 64 - nbits_;
+      put(v, first);
+      put(v >> first, bits - first);
+      return;
+    }
+    acc_ |= v << nbits_;
+    nbits_ += bits;
+    while (nbits_ >= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      nbits_ -= 8;
+    }
+  }
+
+  /// Number of whole bytes the stream occupies so far (pending bits round
+  /// up once finish() pads them).
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return buf_.size() + (nbits_ > 0 ? 1 : 0);
+  }
+
+  /// Flush pending bits (zero-padded to a byte boundary) and release the
+  /// buffer. The writer is empty afterwards.
+  [[nodiscard]] std::vector<std::uint8_t> finish() {
+    if (nbits_ > 0) {
+      buf_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t acc_ = 0;  // pending bits, always < 8 of them
+  unsigned nbits_ = 0;
+};
+
+/// Reads bit fields LSB-first from a byte span; throws on exhaustion.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  /// Read `bits` bits (0 <= bits <= 64). Throws RuntimeError when the
+  /// stream has fewer bits left.
+  [[nodiscard]] std::uint64_t get(unsigned bits) {
+    if (bits == 0) return 0;
+    if (bits > 56) {
+      // Keep the refill shift below 56 so `byte << nbits_` cannot overflow.
+      const std::uint64_t lo = get(32);
+      return lo | (get(bits - 32) << 32);
+    }
+    while (nbits_ < bits) {
+      if (pos_ >= data_.size()) {
+        throw RuntimeError("truncated bitstream in chunk block");
+      }
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << nbits_;
+      nbits_ += 8;
+    }
+    const std::uint64_t v = acc_ & ((std::uint64_t{1} << bits) - 1);
+    acc_ >>= bits;
+    nbits_ -= bits;
+    return v;
+  }
+
+  /// True when only byte-alignment padding (< 8 bits) remains unread.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return (data_.size() - pos_) * 8 + nbits_ < 8;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  unsigned nbits_ = 0;
+};
+
+}  // namespace sickle::store

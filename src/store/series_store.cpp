@@ -16,9 +16,16 @@ namespace {
 constexpr char kMagic[4] = {'S', 'K', 'L', '3'};
 /// v1: trailing index of [time, block refs] per snapshot. v2 appends a
 /// per-snapshot per-field [min, max] summary to each index record and an
-/// FNV-1a checksum over the index section to the header.
+/// FNV-1a checksum over the index section to the header. v3 widens every
+/// block ref with an FNV-1a checksum of the block's encoded payload,
+/// verified before each decode.
 constexpr std::uint32_t kVersionLegacy = 1;
-constexpr std::uint32_t kVersionLatest = 2;
+constexpr std::uint32_t kVersionLatest = 3;
+
+/// Block-ref width in u64s: v3 adds the per-block payload checksum.
+constexpr std::size_t entry_words(std::uint32_t version) {
+  return version >= 3 ? 3 : 2;
+}
 
 template <typename T>
 void write_pod(std::ofstream& f, const T& v) {
@@ -194,7 +201,8 @@ SeriesWriteReport SeriesWriter::close() {
   section.reserve(times_.size() *
                   (sizeof(double) +
                    (version_ >= 2 ? nfields * 2 * sizeof(double) : 0) +
-                   nfields * nchunks * 2 * sizeof(std::uint64_t)));
+                   nfields * nchunks * entry_words(version_) *
+                       sizeof(std::uint64_t)));
   for (std::size_t t = 0; t < times_.size(); ++t) {
     append_pod<double>(section, times_[t]);
     if (version_ >= 2) {
@@ -208,6 +216,7 @@ SeriesWriteReport SeriesWriter::close() {
       const BlockRef& ref = index_[t * nfields * nchunks + b];
       append_pod<std::uint64_t>(section, ref.offset);
       append_pod<std::uint64_t>(section, ref.bytes);
+      if (version_ >= 3) append_pod<std::uint64_t>(section, ref.checksum);
     }
   }
   out_.write(reinterpret_cast<const char*>(section.data()),
@@ -303,25 +312,28 @@ SeriesReader::SeriesReader(const std::string& path, std::size_t cache_bytes,
   }
   SICKLE_CHECK_MSG(num_snapshots < (1u << 24),
                    "implausible snapshot count in SKL3");
-  // Every index entry occupies 16 bytes in the file, so the entry count
-  // is bounded by file_size/16. Checking with divisions (never products)
-  // keeps a corrupt header from overflowing the arithmetic below into a
-  // small index_bytes that would slip past the bounds check.
-  const std::uint64_t entry_cap = file_size / (2 * sizeof(std::uint64_t));
+  // Every index entry occupies entry_bytes in the file, so the entry
+  // count is bounded by file_size/entry_bytes. Checking with divisions
+  // (never products) keeps a corrupt header from overflowing the
+  // arithmetic below into a small index_bytes that would slip past the
+  // bounds check.
+  const std::uint64_t entry_bytes =
+      entry_words(version_) * sizeof(std::uint64_t);
+  const std::uint64_t entry_cap = file_size / entry_bytes;
   if (nchunks == 0 || nfields > entry_cap / nchunks ||
       num_snapshots > entry_cap / (nfields * nchunks)) {
     throw RuntimeError("SKL3 index does not fit the file (corrupt?): " +
                        path);
   }
   const std::uint64_t blocks_per_snap = nfields * nchunks;
-  // v2 index records carry nfields [min, max] summary doubles after the
+  // v2+ index records carry nfields [min, max] summary doubles after the
   // snapshot time. (nfields < 1024 and num_snapshots < 2^24, so the
   // summary term cannot overflow.)
   const std::uint64_t summary_bytes =
       version_ >= 2 ? nfields * 2 * sizeof(double) : 0;
   const std::uint64_t index_bytes =
-      num_snapshots * (sizeof(double) + summary_bytes +
-                       blocks_per_snap * 2 * sizeof(std::uint64_t));
+      num_snapshots *
+      (sizeof(double) + summary_bytes + blocks_per_snap * entry_bytes);
   if (index_offset > file_size || index_bytes > file_size - index_offset) {
     throw RuntimeError("SKL3 index points outside the file (truncated?): " +
                        path);
@@ -353,6 +365,9 @@ SeriesReader::SeriesReader(const std::string& path, std::size_t cache_bytes,
       BlockRef& ref = index_[t * blocks_per_snap + b];
       ref.offset = read_at<std::uint64_t>(raw_index, ipos, path);
       ref.bytes = read_at<std::uint64_t>(raw_index, ipos, path);
+      if (version_ >= 3) {
+        ref.checksum = read_at<std::uint64_t>(raw_index, ipos, path);
+      }
       // Reject corrupt entries here rather than letting chunk() make an
       // unchecked (possibly huge) allocation later.
       if (ref.offset > file_size || ref.bytes > file_size - ref.offset) {
@@ -388,6 +403,11 @@ std::shared_ptr<const std::vector<double>> SeriesReader::chunk(
       (t * names_.size() + field_index) * layout_.count() + chunk_id;
   return cache_->get(key, [&]() -> BlockCache::Block {
     const auto block = file_->read(index_[key].offset, index_[key].bytes);
+    if (version_ >= 3 &&
+        fnv1a64(std::span<const std::uint8_t>(block)) !=
+            index_[key].checksum) {
+      throw RuntimeError("SKL3 chunk checksum mismatch (corrupt block)");
+    }
     return std::make_shared<const std::vector<double>>(
         codec_->decode(std::span<const std::uint8_t>(block),
                        layout_.box(chunk_id).points()));

@@ -97,7 +97,7 @@ class SeriesWriter {
  private:
   std::string path_;
   StoreOptions opts_;
-  std::uint32_t version_;  ///< format version being written (1 or 2)
+  std::uint32_t version_;  ///< format version being written (1, 2, or 3)
   std::ofstream out_;
   std::unique_ptr<Codec> codec_;
   std::unique_ptr<ChunkLayout> layout_;  ///< set by the first append
@@ -203,7 +203,7 @@ class SeriesReader final : public field::SeriesSource {
     return cache_->shard_count();
   }
   /// Container format version (1 = no summary block, 2 = summary block +
-  /// index checksum).
+  /// index checksum, 3 = v2 plus per-block payload checksums).
   [[nodiscard]] std::uint32_t format_version() const noexcept {
     return version_;
   }
@@ -221,6 +221,7 @@ class SeriesReader final : public field::SeriesSource {
   struct BlockRef {
     std::uint64_t offset = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t checksum = 0;
   };
 
   std::unique_ptr<ReadOnlyFile> file_;

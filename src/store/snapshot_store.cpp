@@ -17,9 +17,17 @@ constexpr char kMagic[4] = {'S', 'K', 'L', '2'};
 /// index to the tail (SKL3-style): the header carries an index_offset
 /// patched on completion, blocks stream to disk in write-budget-bounded
 /// waves, and writer memory is bounded by the budget instead of the
-/// snapshot. Readers accept both.
+/// snapshot. v3 keeps the v2 layout but widens each index entry with an
+/// FNV-1a checksum of the block's encoded bytes, verified before every
+/// decode. Readers accept all three.
 constexpr std::uint32_t kVersionLegacy = 1;
-constexpr std::uint32_t kVersionLatest = 2;
+constexpr std::uint32_t kVersionTrailingIndex = 2;
+constexpr std::uint32_t kVersionLatest = 3;
+
+/// Index-entry width in u64s: v3 adds the per-block checksum.
+constexpr std::size_t entry_words(std::uint32_t version) {
+  return version >= 3 ? 3 : 2;
+}
 
 template <typename T>
 void write_pod(std::ofstream& f, const T& v) {
@@ -77,8 +85,9 @@ WaveWriteStats write_blocks_in_waves(const field::Snapshot& snap,
     stats.encode_seconds += encode_timer.seconds();
     std::size_t buffered = 0;
     for (auto& b : blocks) {
-      index.push_back(
-          BlockRef{static_cast<std::uint64_t>(out.tellp()), b.size()});
+      index.push_back(BlockRef{static_cast<std::uint64_t>(out.tellp()),
+                               b.size(),
+                               fnv1a64(std::span<const std::uint8_t>(b))});
       out.write(reinterpret_cast<const char*>(b.data()),
                 static_cast<std::streamsize>(b.size()));
       buffered += b.size();
@@ -172,13 +181,15 @@ StoreWriteReport write_store_v1(const field::Snapshot& snap,
   return report;
 }
 
-/// v2 layout: header with a patched index_offset, streamed payload in
+/// v2/v3 layout: header with a patched index_offset, streamed payload in
 /// write-budget-bounded waves, trailing index. Writer memory is bounded
-/// by one wave of encoded blocks — never the snapshot.
-StoreWriteReport write_store_v2(const field::Snapshot& snap,
-                                const std::string& path,
-                                const StoreOptions& opts,
-                                std::ofstream& f) {
+/// by one wave of encoded blocks — never the snapshot. v3 additionally
+/// serializes each entry's payload checksum.
+StoreWriteReport write_store_trailing(const field::Snapshot& snap,
+                                      const std::string& path,
+                                      const StoreOptions& opts,
+                                      std::uint32_t version,
+                                      std::ofstream& f) {
   const ChunkLayout layout(snap.shape(), opts.chunk);
   const auto codec = make_codec(opts.codec, opts.tolerance);
   const auto names = snap.names();
@@ -189,7 +200,7 @@ StoreWriteReport write_store_v2(const field::Snapshot& snap,
   report.chunks = total;
   report.raw_bytes = snap.bytes();
 
-  write_skl2_header(f, kVersionLatest, snap, layout, *codec, opts.tolerance,
+  write_skl2_header(f, version, snap, layout, *codec, opts.tolerance,
                     names);
   const auto patch_pos = static_cast<std::uint64_t>(f.tellp());
   write_pod<std::uint64_t>(f, 0);  // index_offset, patched below
@@ -209,10 +220,12 @@ StoreWriteReport write_store_v2(const field::Snapshot& snap,
   // decode garbage.
   const auto index_offset = static_cast<std::uint64_t>(f.tellp());
   std::vector<std::uint8_t> section;
-  section.reserve(index.size() * 2 * sizeof(std::uint64_t));
+  section.reserve(index.size() * entry_words(version) *
+                  sizeof(std::uint64_t));
   for (const auto& ref : index) {
     append_pod<std::uint64_t>(section, ref.offset);
     append_pod<std::uint64_t>(section, ref.bytes);
+    if (version >= 3) append_pod<std::uint64_t>(section, ref.checksum);
   }
   f.write(reinterpret_cast<const char*>(section.data()),
           static_cast<std::streamsize>(section.size()));
@@ -235,9 +248,10 @@ StoreWriteReport write_store(const field::Snapshot& snap,
   // milliseconds, not after compressing a multi-GB snapshot.
   std::ofstream f(path, std::ios::binary);
   if (!f) throw RuntimeError("cannot open for write: " + path);
-  StoreWriteReport report = version == kVersionLegacy
-                                ? write_store_v1(snap, path, opts, f)
-                                : write_store_v2(snap, path, opts, f);
+  StoreWriteReport report =
+      version == kVersionLegacy
+          ? write_store_v1(snap, path, opts, f)
+          : write_store_trailing(snap, path, opts, version, f);
   f.flush();
   if (!f) throw RuntimeError("error writing: " + path);
   report.file_bytes = static_cast<std::size_t>(
@@ -258,6 +272,7 @@ ChunkReader::ChunkReader(const std::string& path, std::size_t cache_bytes,
   if (version < kVersionLegacy || version > kVersionLatest) {
     throw RuntimeError("unsupported SKL2 version in " + path);
   }
+  version_ = version;
   field::GridShape grid;
   grid.nx = read_pod<std::uint64_t>(file);
   grid.ny = read_pod<std::uint64_t>(file);
@@ -291,13 +306,14 @@ ChunkReader::ChunkReader(const std::string& path, std::size_t cache_bytes,
   const auto file_size =
       static_cast<std::uint64_t>(std::filesystem::file_size(path));
   if (version >= 2) {
-    // v2: the index sits at the tail; the header holds its offset (0
+    // v2+: the index sits at the tail; the header holds its offset (0
     // means the writer never completed) and an FNV-1a checksum verified
-    // before any entry is parsed.
+    // before any entry is parsed. v3 entries also carry the per-block
+    // payload checksum chunk() verifies before decoding.
     const auto index_offset = read_pod<std::uint64_t>(file);
     const auto index_checksum = read_pod<std::uint64_t>(file);
     const std::uint64_t index_bytes =
-        index_.size() * 2 * sizeof(std::uint64_t);
+        index_.size() * entry_words(version) * sizeof(std::uint64_t);
     if (index_offset == 0) {
       throw RuntimeError(
           "SKL2 store has no index — the writer was not completed "
@@ -327,6 +343,7 @@ ChunkReader::ChunkReader(const std::string& path, std::size_t cache_bytes,
     for (auto& ref : index_) {
       ref.offset = take_u64();
       ref.bytes = take_u64();
+      if (version >= 3) ref.checksum = take_u64();
       if (ref.offset > file_size || ref.bytes > file_size - ref.offset) {
         throw RuntimeError("SKL2 chunk index points outside the file: " +
                            path);
@@ -357,6 +374,11 @@ std::shared_ptr<const std::vector<double>> ChunkReader::chunk(
   const std::uint64_t key = field_index * layout_.count() + chunk_id;
   return cache_->get(key, [&]() -> BlockCache::Block {
     const auto block = file_->read(index_[key].offset, index_[key].bytes);
+    if (version_ >= 3 &&
+        fnv1a64(std::span<const std::uint8_t>(block)) !=
+            index_[key].checksum) {
+      throw RuntimeError("SKL2 chunk checksum mismatch (corrupt block)");
+    }
     return std::make_shared<const std::vector<double>>(
         codec_->decode(std::span<const std::uint8_t>(block),
                        layout_.box(chunk_id).points()));

@@ -45,7 +45,8 @@ struct StoreOptions {
   std::size_t write_budget_bytes = 8ull << 20;
   /// Container format version to write; 0 = latest. Compat/testing knob:
   /// 1 selects the legacy layouts (SKL2 index-before-payload buffering
-  /// writer; SKL3 without summary blocks or index checksum). Readers
+  /// writer; SKL3 without summary blocks or index checksum); 2 selects the
+  /// trailing-index layout without per-block payload checksums. Readers
   /// accept every version they know.
   std::uint32_t format_version = 0;
 };
@@ -77,10 +78,14 @@ StoreWriteReport write_store(const field::Snapshot& snap,
                              const StoreOptions& opts = {});
 
 /// One encoded block's location inside a container file — the index entry
-/// shared by the SKL2 v2 and SKL3 trailing indexes.
+/// shared by the SKL2 and SKL3 trailing indexes. `checksum` (FNV-1a of the
+/// encoded payload bytes) is serialized by format v3+ and verified before
+/// every decode, so a flipped payload bit fails loudly instead of decoding
+/// to silently wrong values.
 struct BlockRef {
   std::uint64_t offset = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;
 };
 
 /// What one wave-streamed snapshot write did (summed into the writers'
@@ -157,6 +162,11 @@ class ChunkReader final : public field::FieldSource {
   [[nodiscard]] std::size_t num_fields() const noexcept {
     return names_.size();
   }
+  /// Container format version read from the header (1 = legacy, 2 =
+  /// trailing index, 3 = v2 plus per-block payload checksums).
+  [[nodiscard]] std::uint32_t format_version() const noexcept {
+    return version_;
+  }
 
   /// Decoded values of one chunk of one field, in the chunk's z-fastest
   /// order. The pointer stays valid after eviction (shared ownership).
@@ -182,9 +192,11 @@ class ChunkReader final : public field::FieldSource {
   struct BlockRef {
     std::uint64_t offset = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t checksum = 0;
   };
 
   std::unique_ptr<ReadOnlyFile> file_;
+  std::uint32_t version_ = 0;
   ChunkLayout layout_{{1, 1, 1}, {1, 1, 1}};
   double time_ = 0.0;
   std::vector<std::string> names_;

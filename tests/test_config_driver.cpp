@@ -177,8 +177,14 @@ TEST(ConfigDriver, StoreDefaultsAndErrors) {
                    "store:\n  backend: s3\n")),
                RuntimeError);
   EXPECT_THROW(case_from_config(Config::parse(
+                   "store:\n  codec: lz77\n")),
+               RuntimeError);
+#ifndef SICKLE_HAS_ZSTD
+  // A registered-but-not-compiled-in codec must fail at config time too.
+  EXPECT_THROW(case_from_config(Config::parse(
                    "store:\n  codec: zstd\n")),
                RuntimeError);
+#endif
   EXPECT_THROW(case_from_config(Config::parse(
                    "store:\n  chunk: 0\n")),
                RuntimeError);

@@ -67,7 +67,7 @@ class SeriesStoreTest : public ::testing::Test {
 
 TEST_F(SeriesStoreTest, LosslessRoundTripAcrossSnapshots) {
   const auto ds = make_series(5);
-  for (const char* codec : {"raw", "delta"}) {
+  for (const char* codec : {"raw", "delta", "gorilla"}) {
     StoreOptions opts;
     opts.chunk = {4, 4, 4};
     opts.codec = codec;
@@ -492,7 +492,7 @@ TEST_F(SeriesStoreTest, SummaryBlocksCarryExactRanges) {
   (void)writer.close();
 
   const SeriesReader reader(path("sum.skl3"));
-  EXPECT_EQ(reader.format_version(), 2u);
+  EXPECT_EQ(reader.format_version(), 3u);
   EXPECT_TRUE(reader.has_summaries());
   for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
     for (const auto& name : ds.snapshot(t).names()) {
@@ -687,6 +687,39 @@ TEST_F(SeriesStoreTest, StreamingSkl2IngestMatchesMemoryBackend) {
   EXPECT_EQ(streamed_report.train.test_loss, memory_report.train.test_loss);
   EXPECT_GT(streamed_report.ingest_peak_bytes, 0u);
   EXPECT_TRUE(std::filesystem::is_empty(dir_ / "skl2_spill"));
+}
+
+/// Codec matrix over the streaming series backend: every lossless codec
+/// must reproduce the memory backend's sample hash and training losses
+/// bit-for-bit — the out-of-core path may change how bytes hit disk, never
+/// which samples come back.
+TEST_F(SeriesStoreTest, LosslessCodecsKeepSampleHashAndLossesIdentical) {
+  CaseConfig cc = tiny_case();
+  const auto memory_report =
+      run_case(make_dataset("SST-P1F4", 3, 0.5), cc);
+  ASSERT_NE(memory_report.sample_hash, 0u);
+
+  std::vector<std::string> codecs = {"raw", "delta", "gorilla"};
+#ifdef SICKLE_HAS_ZSTD
+  codecs.emplace_back("zstd");
+#endif
+  for (const auto& codec : codecs) {
+    CaseConfig sc = tiny_case();
+    sc.backend = "series";
+    sc.ingest = "streaming";
+    sc.store.chunk = {16, 16, 16};
+    sc.store.codec = codec;
+    sc.store.write_budget_bytes = 1u << 20;
+    sc.spill_dir = (dir_ / ("codec_spill_" + codec)).string();
+    ProducerBundle bundle = make_dataset_producer("SST-P1F4", 3, 0.5);
+    const auto report = run_case(bundle, sc);
+    EXPECT_EQ(report.sample_hash, memory_report.sample_hash) << codec;
+    EXPECT_EQ(report.sampled_points, memory_report.sampled_points) << codec;
+    EXPECT_EQ(report.train.test_loss, memory_report.train.test_loss)
+        << codec;
+    EXPECT_EQ(report.selected_snapshots, memory_report.selected_snapshots)
+        << codec;
+  }
 }
 
 }  // namespace

@@ -104,8 +104,13 @@ TEST(Codec, QuantFallsBackToRawOnExtremeRange) {
 }
 
 TEST(Codec, UnknownNameThrows) {
-  EXPECT_THROW(make_codec("zstd"), RuntimeError);
+  EXPECT_THROW(make_codec("lz77"), RuntimeError);
   EXPECT_THROW(QuantCodec(0.0), CheckError);
+#ifndef SICKLE_HAS_ZSTD
+  // "zstd" is a registered name, but requesting it from a build without
+  // zstd support must fail with a clear (typed) error, not decode garbage.
+  EXPECT_THROW(make_codec("zstd"), RuntimeError);
+#endif
 }
 
 TEST(ChunkLayout, PartialEdgeChunksCoverTheGrid) {
@@ -175,7 +180,7 @@ class StoreTest : public ::testing::Test {
 
 TEST_F(StoreTest, LosslessRoundTripWithPartialChunks) {
   const auto snap = make_snapshot();
-  for (const char* codec : {"raw", "delta"}) {
+  for (const char* codec : {"raw", "delta", "gorilla"}) {
     StoreOptions opts;
     opts.chunk = {4, 4, 4};
     opts.codec = codec;
@@ -527,7 +532,7 @@ TEST_F(StoreTest, ParallelStreamingIsBitExactWithSerialInMemory) {
   cfg.threads = 1;
   const auto serial = run_pipeline(snap, cfg).merged();
 
-  for (const char* codec : {"raw", "delta"}) {
+  for (const char* codec : {"raw", "delta", "gorilla"}) {
     StoreOptions opts;
     opts.chunk = {8, 8, 8};
     opts.codec = codec;

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke: run the config-driven case runner on a tiny dataset
 # for every backend (memory | skl2 | series) x ingest mode (materialize |
-# streaming) and verify that the sample-set hash and the test loss are
-# identical across all six runs — the bit-identity contract the staged
+# streaming), then for every lossless codec (raw | delta | gorilla, plus
+# zstd when the binary was built with it) on the series/streaming
+# backend, and verify that the sample-set hash and the test loss are
+# identical across every run — the bit-identity contract the staged
 # orchestrator promises for lossless codecs.
 #
 # Usage: tools/e2e_smoke.sh [path/to/sickle_train]
@@ -19,13 +21,10 @@ fi
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
-ref_hash=""
-ref_loss=""
-ref_combo=""
-for backend in memory skl2 series; do
-  for ingest in materialize streaming; do
-    cfg="$workdir/case_${backend}_${ingest}.yaml"
-    cat > "$cfg" <<EOF
+# Emit the case config for one (backend, ingest, codec) combination.
+write_cfg() {
+  local cfg=$1 backend=$2 ingest=$3 codec=$4
+  cat > "$cfg" <<EOF
 shared:
   dataset: SST-P1F4
   scale: 0.5
@@ -44,7 +43,7 @@ subsample:
 store:
   backend: $backend
   ingest: $ingest
-  codec: delta
+  codec: $codec
   chunk: 16
   write_budget_mb: 1
   spill_dir: $workdir/spill
@@ -56,28 +55,64 @@ train:
   dim: 16
   heads: 2
 EOF
-    echo "=== backend=$backend ingest=$ingest"
-    out=$("$BIN" "$cfg")
-    echo "$out" | grep -E "sample set hash|sampled points|Evaluation on test set|ingest peak"
-    hash=$(echo "$out" | sed -n 's/^sample set hash: //p')
-    loss=$(echo "$out" | sed -n 's/^Evaluation on test set: //p')
-    if [[ -z "$hash" || -z "$loss" ]]; then
-      echo "error: missing hash/loss in output for $backend/$ingest" >&2
-      exit 1
-    fi
-    if [[ -z "$ref_hash" ]]; then
-      ref_hash="$hash"
-      ref_loss="$loss"
-      ref_combo="$backend/$ingest"
-    elif [[ "$hash" != "$ref_hash" || "$loss" != "$ref_loss" ]]; then
-      echo "error: $backend/$ingest diverged from $ref_combo:" >&2
-      echo "  hash $hash vs $ref_hash, loss $loss vs $ref_loss" >&2
-      exit 1
-    fi
+}
+
+ref_hash=""
+ref_loss=""
+ref_combo=""
+runs=0
+
+# Run one combination and check it against the reference.
+check_combo() {
+  local backend=$1 ingest=$2 codec=$3
+  local cfg="$workdir/case_${backend}_${ingest}_${codec}.yaml"
+  write_cfg "$cfg" "$backend" "$ingest" "$codec"
+  echo "=== backend=$backend ingest=$ingest codec=$codec"
+  local out
+  out=$("$BIN" "$cfg")
+  echo "$out" | grep -E "sample set hash|sampled points|Evaluation on test set|ingest peak"
+  local hash loss
+  hash=$(echo "$out" | sed -n 's/^sample set hash: //p')
+  loss=$(echo "$out" | sed -n 's/^Evaluation on test set: //p')
+  if [[ -z "$hash" || -z "$loss" ]]; then
+    echo "error: missing hash/loss in output for $backend/$ingest/$codec" >&2
+    exit 1
+  fi
+  if [[ -z "$ref_hash" ]]; then
+    ref_hash="$hash"
+    ref_loss="$loss"
+    ref_combo="$backend/$ingest/$codec"
+  elif [[ "$hash" != "$ref_hash" || "$loss" != "$ref_loss" ]]; then
+    echo "error: $backend/$ingest/$codec diverged from $ref_combo:" >&2
+    echo "  hash $hash vs $ref_hash, loss $loss vs $ref_loss" >&2
+    exit 1
+  fi
+  runs=$((runs + 1))
+}
+
+for backend in memory skl2 series; do
+  for ingest in materialize streaming; do
+    check_combo "$backend" "$ingest" delta
   done
 done
 
+# Codec sweep on the most demanding path (series container + streaming
+# ingest): every lossless codec must leave the sample hash and training
+# losses bit-identical. zstd is probed — a build without it rejects the
+# config with a typed error, which the sweep reports as a skip.
+for codec in raw gorilla zstd; do
+  if [[ "$codec" == zstd ]]; then
+    cfg="$workdir/probe_zstd.yaml"
+    write_cfg "$cfg" series streaming zstd
+    if ! "$BIN" "$cfg" > /dev/null 2>&1; then
+      echo "=== codec=zstd skipped (binary built without zstd support)"
+      continue
+    fi
+  fi
+  check_combo series streaming "$codec"
+done
+
 echo
-echo "OK: all 6 backend x ingest combinations bit-identical"
+echo "OK: all $runs backend x ingest x codec combinations bit-identical"
 echo "    sample set hash: $ref_hash"
 echo "    test loss:       $ref_loss"
