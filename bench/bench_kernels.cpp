@@ -8,6 +8,8 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
+#include <limits>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -17,12 +19,15 @@
 #include "fft/fft.hpp"
 #include "field/field_source.hpp"
 #include "ml/tensor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sampling/cube_scoring.hpp"
 #include "sampling/pipeline.hpp"
 #include "sampling/point_samplers.hpp"
 #include "stats/entropy.hpp"
 #include "stats/histogram.hpp"
 #include "store/codec.hpp"
+#include "store/snapshot_store.hpp"
 
 namespace {
 
@@ -434,8 +439,75 @@ void record_pipeline_threads_row(sickle::bench::JsonReport* report) {
               serial_seconds / pooled_seconds);
 }
 
+/// The obs-overhead acceptance row: the same streaming sampling pipeline
+/// run with the observability layer globally off vs on, interleaved
+/// min-of-N so both sides see the same thermal/noise envelope. The store-
+/// backed path is the worst case for span density (one store.load_chunk +
+/// codec.decode pair per cache miss on top of the stage spans), so its
+/// ratio bounds every other workload. tools/check_obs_overhead.py gates
+/// the committed baseline's ratio at 3%.
+void record_obs_overhead_row(sickle::bench::JsonReport* report) {
+  namespace fs = std::filesystem;
+  const auto& fx = CubeScoringFixture::instance();
+  const auto dir = fs::temp_directory_path() / "sickle_obs_overhead";
+  fs::create_directories(dir);
+  const std::string path = (dir / "obs.skl2").string();
+  store::StoreOptions opts;
+  opts.chunk = {16, 16, 16};
+  opts.codec = "delta";
+  (void)store::write_store(fx.snap, path, opts);
+
+  sampling::PipelineConfig cfg;
+  cfg.cube = {8, 8, 8};
+  cfg.hypercube_method = "maxent";
+  cfg.point_method = "maxent";
+  cfg.num_hypercubes = 32;
+  cfg.num_samples = 51;
+  cfg.num_clusters = 8;
+  cfg.input_vars = {"cv"};
+  cfg.cluster_var = "cv";
+
+  auto run_once = [&] {
+    // A fresh reader with a deliberately small cache keeps chunk loads
+    // (and therefore trace events) in the timed region every repeat.
+    const store::ChunkReader reader(path, /*cache_bytes=*/1u << 20);
+    Timer timer;
+    const auto result = sampling::run_pipeline_streaming(reader, cfg);
+    benchmark::DoNotOptimize(result.cubes.data());
+    return timer.seconds();
+  };
+
+  constexpr int kRepeats = 5;
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(false);
+  (void)run_once();  // warm-up: fault in code paths and the page cache
+  double disabled_s = std::numeric_limits<double>::infinity();
+  double enabled_s = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < kRepeats; ++i) {
+    obs::set_enabled(false);
+    disabled_s = std::min(disabled_s, run_once());
+    obs::set_enabled(true);
+    enabled_s = std::min(enabled_s, run_once());
+  }
+  obs::set_enabled(was_enabled);
+  obs::Tracer::instance().clear();
+  obs::MetricsRegistry::global().reset();
+  fs::remove_all(dir);
+
+  const double ratio = enabled_s / disabled_s;
+  report->add("obs_overhead_pipeline", {{"disabled_seconds", disabled_s},
+                                        {"enabled_seconds", enabled_s},
+                                        {"overhead_ratio", ratio}});
+  std::printf("obs overhead row: disabled %.4fs, enabled %.4fs "
+              "(%.3fx, min of %d interleaved)\n",
+              disabled_s, enabled_s, ratio, kRepeats);
+}
+
 /// Console output as usual, plus every non-aggregate run collected into a
-/// bench::JsonReport (ns/op, items/s, bytes/s, thread count).
+/// bench::JsonReport (ns/op, items/s, bytes/s, thread count). Runs are
+/// folded per benchmark name via add_sample, so
+/// `--benchmark_repetitions=N` yields one record per kernel carrying the
+/// median plus min/max dispersion instead of N duplicate records.
 class JsonCollectingReporter : public benchmark::ConsoleReporter {
  public:
   explicit JsonCollectingReporter(sickle::bench::JsonReport* out)
@@ -445,19 +517,18 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
     ConsoleReporter::ReportRuns(runs);
     for (const Run& run : runs) {
       if (!run.aggregate_name.empty()) continue;
-      std::vector<std::pair<std::string, double>> metrics;
+      const std::string name = run.benchmark_name();
       const double iters =
           run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
-      metrics.emplace_back("ns_per_op",
-                           run.real_accumulated_time / iters * 1e9);
-      metrics.emplace_back("threads", static_cast<double>(run.threads));
+      out_->add_sample(name, "ns_per_op",
+                       run.real_accumulated_time / iters * 1e9);
+      out_->add_sample(name, "threads", static_cast<double>(run.threads));
       for (const char* counter : {"items_per_second", "bytes_per_second"}) {
         if (const auto it = run.counters.find(counter);
             it != run.counters.end()) {
-          metrics.emplace_back(counter, static_cast<double>(it->second));
+          out_->add_sample(name, counter, static_cast<double>(it->second));
         }
       }
-      out_->add(run.benchmark_name(), metrics);
     }
   }
 
@@ -490,6 +561,7 @@ int main(int argc, char** argv) {
   JsonCollectingReporter reporter(&report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   record_pipeline_threads_row(&report);
+  record_obs_overhead_row(&report);
   report.write(json_path);
   benchmark::Shutdown();
   return 0;

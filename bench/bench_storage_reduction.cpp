@@ -77,10 +77,11 @@ int main() {
     const std::string path = (dir / (codec + ".skl2")).string();
     const auto report = store::write_store(snap, path, opts);
 
-    Timer decode_timer;
-    const store::ChunkReader reader(path);
-    const auto round_trip = reader.load_snapshot();
-    const double decode_seconds = decode_timer.seconds();
+    double decode_seconds = 0.0;
+    const auto round_trip = [&] {
+      ScopedTimer decode_timer(decode_seconds);
+      return store::ChunkReader(path).load_snapshot();
+    }();
 
     std::printf("%-22s%-22zu%-22.2f%-22.0f%-22.0f%-22.2e\n", codec.c_str(),
                 report.file_bytes, report.compression_ratio(),
@@ -114,9 +115,11 @@ int main() {
       opts.codec = codec;
       const std::string path = (dir / ("turb_" + codec + ".skl2")).string();
       const auto report = store::write_store(tsnap, path, opts);
-      Timer decode_timer;
-      const auto round_trip = store::ChunkReader(path).load_snapshot();
-      const double decode_seconds = decode_timer.seconds();
+      double decode_seconds = 0.0;
+      const auto round_trip = [&] {
+        ScopedTimer decode_timer(decode_seconds);
+        return store::ChunkReader(path).load_snapshot();
+      }();
       const bool exact = max_abs_error(tsnap, round_trip) == 0.0;
       gorilla_gate = gorilla_gate && exact;
       if (codec == "gorilla") gorilla_ratio = report.compression_ratio();

@@ -3,6 +3,7 @@
 // tracked with (docs/PERF.md).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -82,6 +83,36 @@ class JsonReport {
     records_.push_back(std::move(r));
   }
 
+  /// Accumulate one observation of `key` for the record `name`; repeated
+  /// calls with the same (name, key) fold into a single record. At write
+  /// time a key with one observation emits `"key": v` (byte-compatible
+  /// with add()); N > 1 observations emit the median as `"key"` plus
+  /// `"key_min"`, `"key_max"`, and a shared `"repeats"` count, so
+  /// baseline gates keep comparing the stable median while the
+  /// dispersion stays visible in the report.
+  void add_sample(const std::string& name, const std::string& key,
+                  double value) {
+    Record* rec = nullptr;
+    for (auto& r : records_) {
+      if (r.name == name) {
+        rec = &r;
+        break;
+      }
+    }
+    if (rec == nullptr) {
+      records_.emplace_back();
+      rec = &records_.back();
+      rec->name = name;
+    }
+    for (auto& [k, samples] : rec->samples) {
+      if (k == key) {
+        samples.push_back(value);
+        return;
+      }
+    }
+    rec->samples.emplace_back(key, std::vector<double>{value});
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
 
   /// Write the report; returns false (after printing a warning) on I/O
@@ -109,6 +140,25 @@ class JsonReport {
       for (const auto& [key, value] : r.metrics) {
         std::fprintf(f, ", \"%s\": %.9g", json_escape(key).c_str(), value);
       }
+      std::size_t repeats = 0;
+      for (const auto& [key, samples] : r.samples) {
+        std::vector<double> sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        const std::size_t n = sorted.size();
+        const double median = n % 2 == 1
+                                  ? sorted[n / 2]
+                                  : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+        std::fprintf(f, ", \"%s\": %.9g", json_escape(key).c_str(), median);
+        if (n > 1) {
+          std::fprintf(f, ", \"%s_min\": %.9g, \"%s_max\": %.9g",
+                       json_escape(key).c_str(), sorted.front(),
+                       json_escape(key).c_str(), sorted.back());
+        }
+        repeats = std::max(repeats, n);
+      }
+      if (repeats > 1) {
+        std::fprintf(f, ", \"repeats\": %zu", repeats);
+      }
       std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -130,6 +180,9 @@ class JsonReport {
     std::string name;
     std::vector<std::pair<std::string, double>> metrics;
     std::vector<std::pair<std::string, std::string>> labels;
+    /// add_sample() observations, keyed in insertion order; summarized
+    /// (median/min/max) at write time.
+    std::vector<std::pair<std::string, std::vector<double>>> samples;
   };
 
   std::string bench_name_;

@@ -26,4 +26,25 @@ class Timer {
   clock::time_point start_;
 };
 
+/// RAII stopwatch: accumulates elapsed seconds into a caller-owned double
+/// on destruction. Replaces the hand-rolled now()-pair pattern around
+/// staged work — declare one at the top of the timed scope:
+///
+///   double decode_seconds = 0.0;
+///   { ScopedTimer t(decode_seconds); reader.load_snapshot(); }
+///
+/// Accumulates (`+=`) rather than assigns so one double can total many
+/// scopes (e.g. per-snapshot ingest inside a loop).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& out) noexcept : out_(&out) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { *out_ += timer_.seconds(); }
+
+ private:
+  Timer timer_;
+  double* out_;
+};
+
 }  // namespace sickle

@@ -1,0 +1,42 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sickle::obs {
+
+void apply(const ObsOptions& opts) { set_enabled(opts.enabled); }
+
+void finalize(const ObsOptions& opts) {
+  if (!opts.trace_path.empty()) {
+    Tracer::instance().write_chrome_trace(opts.trace_path);
+  }
+  if (!opts.metrics_path.empty()) {
+    MetricsRegistry::global().write_json(opts.metrics_path);
+  }
+}
+
+std::string summary_table() {
+  const auto snap = MetricsRegistry::global().snapshot();
+  if (snap.empty()) return "";
+  std::size_t width = 0;
+  for (const auto& [name, value] : snap) width = std::max(width, name.size());
+  std::ostringstream os;
+  for (const auto& [name, value] : snap) {
+    char buf[64];
+    if (value == static_cast<double>(static_cast<long long>(value)) &&
+        std::abs(value) < 9.0e15) {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+    }
+    os << "  " << name << std::string(width - name.size() + 2, ' ') << buf
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sickle::obs

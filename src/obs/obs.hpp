@@ -1,0 +1,33 @@
+// Top-level observability surface: the options struct the config
+// driver fills from the `observability:` section, plus apply/finalize
+// helpers for tools (enable at startup, export artifacts at exit) and a
+// human-readable metrics summary table.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sickle::obs {
+
+/// Parsed `observability:` config section (see docs/OBSERVABILITY.md).
+struct ObsOptions {
+  bool enabled = false;       // master switch; zero overhead when false
+  std::string trace_path;     // Chrome trace-event JSON, "" = don't write
+  std::string metrics_path;   // registry snapshot JSON, "" = don't write
+};
+
+/// Enable/disable the layer per `opts.enabled`. Call before the run.
+void apply(const ObsOptions& opts);
+
+/// Export whatever the options ask for (trace and/or metrics files).
+/// No-op for empty paths. Call after the run.
+void finalize(const ObsOptions& opts);
+
+/// Aligned "name  value" lines of the global registry snapshot, sorted
+/// by name; "" when the registry is empty. Tools print this as the
+/// metrics summary table.
+[[nodiscard]] std::string summary_table();
+
+}  // namespace sickle::obs

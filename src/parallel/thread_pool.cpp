@@ -5,8 +5,31 @@
 
 #include "common/error.hpp"
 #include "common/mathx.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sickle {
+
+namespace {
+
+// Pool telemetry (docs/OBSERVABILITY.md): tasks executed, cumulative
+// queue wait, cumulative busy seconds. Worker utilization follows as
+// busy_seconds / (workers x wall seconds). Handles resolve once; the
+// counters themselves are lock-free.
+struct PoolMetrics {
+  obs::Counter& tasks = obs::MetricsRegistry::global().counter(
+      "pool.tasks_executed");
+  obs::Gauge& queue_wait = obs::MetricsRegistry::global().gauge(
+      "pool.queue_wait_seconds");
+  obs::Gauge& busy = obs::MetricsRegistry::global().gauge(
+      "pool.busy_seconds");
+  static PoolMetrics& get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -28,10 +51,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Timestamp outside the lock; 0 doubles as the "don't meter" flag so
+  // disabled runs skip every clock read and metric touch.
+  const std::uint64_t enqueue_ns = obs::enabled() ? obs::now_ns() : 0;
   {
     std::lock_guard lock(mu_);
     SICKLE_CHECK_MSG(!stop_, "submit() on stopped pool");
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), enqueue_ns});
     ++in_flight_;
   }
   cv_task_.notify_one();
@@ -44,7 +70,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mu_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -52,7 +78,21 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (task.enqueue_ns != 0) {
+      // Metered path: the task was submitted with observability on.
+      auto& m = PoolMetrics::get();
+      const std::uint64_t start_ns = obs::now_ns();
+      m.queue_wait.add(static_cast<double>(start_ns - task.enqueue_ns) *
+                       1e-9);
+      {
+        obs::Span span("pool.task", "pool");
+        task.fn();
+      }
+      m.busy.add(static_cast<double>(obs::now_ns() - start_ns) * 1e-9);
+      m.tasks.add(1);
+    } else {
+      task.fn();
+    }
     {
       std::lock_guard lock(mu_);
       --in_flight_;

@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -41,10 +42,17 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  // Tasks carry their enqueue timestamp (obs::now_ns(); 0 when
+  // observability is off) so workers can meter queue wait time.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;

@@ -16,6 +16,7 @@
 #include "common/timer.hpp"
 #include "field/hypercube.hpp"
 #include "ml/models.hpp"
+#include "obs/trace.hpp"
 #include "sampling/point_samplers.hpp"
 #include "store/series_store.hpp"
 
@@ -203,6 +204,35 @@ class TrainingSetBuilder {
   ml::TensorDataset out_;
 };
 
+/// Reader-side I/O tallies of a spill backend, folded across every
+/// ChunkReader the backend recycled — the per-case view of what the
+/// global `store.cache.*` registry counters see process-wide. Lands in
+/// CaseReport::metrics.
+struct SpillIoStats {
+  store::CacheStats cache;
+  std::uint64_t bytes_read = 0;
+
+  void fold(const store::ChunkReader& reader) {
+    fold(reader.cache_stats(), reader.io_bytes_read());
+  }
+  void fold(const store::CacheStats& cs, std::uint64_t io_bytes) {
+    cache.hits += cs.hits;
+    cache.misses += cs.misses;
+    cache.evictions += cs.evictions;
+    bytes_read += io_bytes;
+  }
+};
+
+void record_spill_metrics(CaseReport& report, const SpillIoStats& io) {
+  report.metrics["store.cache_hits"] = static_cast<double>(io.cache.hits);
+  report.metrics["store.cache_misses"] =
+      static_cast<double>(io.cache.misses);
+  report.metrics["store.cache_evictions"] =
+      static_cast<double>(io.cache.evictions);
+  report.metrics["store.io_bytes_read"] =
+      static_cast<double>(io.bytes_read);
+}
+
 /// Per-snapshot SKL2 spill presented as a SeriesSource (the legacy
 /// "skl2" backend, kept for compatibility with single-snapshot `.skl2`
 /// tooling). Exactly one spill file exists on disk at a time — the
@@ -233,6 +263,7 @@ class Skl2SpillSeries final : public field::SeriesSource {
       std::size_t t) const override {
     SICKLE_CHECK(t < num_snapshots());
     if (reader_ == nullptr || current_ != t) {
+      if (reader_ != nullptr) io_.fold(*reader_);
       reader_.reset();  // close before deleting the previous spill file
       if (current_ != kNone) {
         std::error_code ec;
@@ -253,6 +284,13 @@ class Skl2SpillSeries final : public field::SeriesSource {
     return *reader_;
   }
 
+  /// Lifetime I/O tallies including the currently open reader.
+  [[nodiscard]] SpillIoStats io_stats() const {
+    SpillIoStats out = io_;
+    if (reader_ != nullptr) out.fold(*reader_);
+    return out;
+  }
+
  private:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
@@ -267,6 +305,7 @@ class Skl2SpillSeries final : public field::SeriesSource {
   mutable std::vector<bool> counted_;
   mutable std::unique_ptr<store::ChunkReader> reader_;
   mutable std::size_t current_ = kNone;
+  mutable SpillIoStats io_;
 };
 
 /// Spill lifecycle (config-controlled): the directory is removed as soon
@@ -352,6 +391,7 @@ class Skl2FilesSeries final : public field::SeriesSource {
       std::size_t t) const override {
     SICKLE_CHECK(t < paths_.size());
     if (reader_ == nullptr || current_ != t) {
+      if (reader_ != nullptr) io_.fold(*reader_);
       reader_ =
           std::make_unique<store::ChunkReader>(paths_[t], cache_bytes_);
       current_ = t;
@@ -359,11 +399,19 @@ class Skl2FilesSeries final : public field::SeriesSource {
     return *reader_;
   }
 
+  /// Lifetime I/O tallies including the currently open reader.
+  [[nodiscard]] SpillIoStats io_stats() const {
+    SpillIoStats out = io_;
+    if (reader_ != nullptr) out.fold(*reader_);
+    return out;
+  }
+
  private:
   std::vector<std::string> paths_;
   std::size_t cache_bytes_;
   mutable std::unique_ptr<store::ChunkReader> reader_;
   mutable std::size_t current_ = static_cast<std::size_t>(-1);
+  mutable SpillIoStats io_;
 };
 
 /// --- Stage B: temporal snapshot selection over streamed PDFs. Returns
@@ -373,8 +421,12 @@ std::vector<std::size_t> selection_stage(const field::SeriesSource& series,
                                          CaseReport& report) {
   std::vector<std::size_t> selected(series.num_snapshots());
   std::iota(selected.begin(), selected.end(), std::size_t{0});
+  // The span is emitted even when the stage is disabled, so every traced
+  // case shows all four orchestrator stages.
+  obs::Span span("case.selection", "case");
+  double selection_seconds = 0.0;
   if (cfg.temporal.enabled()) {
-    Timer selection_timer;
+    ScopedTimer selection_timer(selection_seconds);
     sampling::TemporalConfig tc;
     tc.variable = temporal_variable(cfg);
     tc.num_snapshots = cfg.temporal.num_snapshots;
@@ -384,8 +436,9 @@ std::vector<std::size_t> selection_stage(const field::SeriesSource& series,
     // deterministic, chronologically coherent subset.
     std::sort(selected.begin(), selected.end());
     report.selected_snapshots = selected;
-    report.sampling_seconds += selection_timer.seconds();
   }
+  report.sampling_seconds += selection_seconds;
+  report.metrics["case.selection_seconds"] = selection_seconds;
   return selected;
 }
 
@@ -402,15 +455,21 @@ ml::TensorDataset sampling_stage(const field::SeriesSource& series,
                                  const CaseConfig& cfg, CaseReport& report,
                                  energy::EnergyCounter& sampling_energy) {
   const auto& pl = cfg.pipeline;
+  obs::Span span("case.sampling", "case");
+  Timer stage_timer;
   TrainingSetBuilder builder(series, cfg);
   Fnv64 hash;
   const PoolHandle pool = resolve_threads(pl.threads);
+  double source_seconds = 0.0;
   for (const std::size_t t : selected) {
-    // source(t) is where the lazy skl2 backend encodes its spill, so
-    // time it as ingest — every backend's T1 cost lands in the report.
-    Timer ingest_timer;
-    const field::FieldSource& src = series.source(t);
-    report.sampling_seconds += ingest_timer.seconds();
+    const field::FieldSource* srcp = nullptr;
+    {
+      // source(t) is where the lazy skl2 backend encodes its spill, so
+      // time it as ingest — every backend's T1 cost lands in the report.
+      ScopedTimer ingest_timer(source_seconds);
+      srcp = &series.source(t);
+    }
+    const field::FieldSource& src = *srcp;
     auto r = sampling::run_pipeline_streaming(src, pl, t, pool.get());
     report.sampled_points += r.total_points();
     report.sampling_seconds += r.sampling_seconds;
@@ -426,13 +485,17 @@ ml::TensorDataset sampling_stage(const field::SeriesSource& series,
       builder.push(src, cs);
     }
   }
+  report.sampling_seconds += source_seconds;
   report.sample_hash = hash.h;
+  report.metrics["case.sampling_seconds"] = stage_timer.seconds();
   return builder.take();
 }
 
 /// --- Stage D: model construction + training.
 void training_stage(const ml::TensorDataset& data, const CaseConfig& cfg,
                     CaseReport& report) {
+  obs::Span span("case.training", "case");
+  Timer stage_timer;
   const auto& pl = cfg.pipeline;
   Rng rng(cfg.train.seed, /*stream=*/0x40DE1);
   std::unique_ptr<ml::Module> model;
@@ -479,6 +542,20 @@ void training_stage(const ml::TensorDataset& data, const CaseConfig& cfg,
 
   report.train = ml::fit(*model, data, cfg.train);
   report.training_kilojoules = report.train.energy.projected_kilojoules();
+  report.metrics["case.training_seconds"] = stage_timer.seconds();
+}
+
+/// Mirror the scalar CaseReport fields into the metrics map so one
+/// key-value view carries the whole per-case telemetry story.
+void finalize_case_metrics(CaseReport& report) {
+  report.metrics["case.sampled_points"] =
+      static_cast<double>(report.sampled_points);
+  report.metrics["case.store_bytes"] =
+      static_cast<double>(report.store_bytes);
+  report.metrics["case.ingest_peak_bytes"] =
+      static_cast<double>(report.ingest_peak_bytes);
+  report.metrics["case.selected_snapshots"] =
+      static_cast<double>(report.selected_snapshots.size());
 }
 
 void check_backend_and_ingest(const CaseConfig& cfg) {
@@ -512,6 +589,7 @@ CaseReport run_case(const DatasetBundle& bundle, CaseConfig cfg) {
   CaseReport report;
   check_backend_and_ingest(cfg);
 
+  obs::Span case_span("case.run", "case");
   energy::EnergyCounter sampling_energy;
   ml::TensorDataset data;
   {
@@ -522,30 +600,46 @@ CaseReport run_case(const DatasetBundle& bundle, CaseConfig cfg) {
     const field::DatasetSeriesSource mem_series(bundle.data);
     std::unique_ptr<field::SeriesSource> spilled;
     const field::SeriesSource* series = &mem_series;
-    if (cfg.backend != "memory") {
-      Timer spill_timer;
-      guard.dir = make_spill_dir(cfg.spill_dir);
-      guard.armed = true;
-      if (cfg.backend == "skl2") {
-        spilled = std::make_unique<Skl2SpillSeries>(
-            bundle.data, guard.dir, cfg.store, &report.store_bytes);
-      } else {
-        const std::string path = (guard.dir / "series.skl3").string();
-        store::SeriesWriter writer(path, cfg.store);
-        for (std::size_t t = 0; t < bundle.data.num_snapshots(); ++t) {
-          writer.append(bundle.data.snapshot(t));
+    double ingest_seconds = 0.0;
+    {
+      obs::Span ingest_span("case.ingest", "case");
+      if (cfg.backend != "memory") {
+        ScopedTimer spill_timer(ingest_seconds);
+        guard.dir = make_spill_dir(cfg.spill_dir);
+        guard.armed = true;
+        if (cfg.backend == "skl2") {
+          spilled = std::make_unique<Skl2SpillSeries>(
+              bundle.data, guard.dir, cfg.store, &report.store_bytes);
+        } else {
+          const std::string path = (guard.dir / "series.skl3").string();
+          store::SeriesWriter writer(path, cfg.store);
+          for (std::size_t t = 0; t < bundle.data.num_snapshots(); ++t) {
+            writer.append(bundle.data.snapshot(t));
+          }
+          report.store_bytes = writer.close().file_bytes;
+          spilled = std::make_unique<store::SeriesReader>(
+              path, cfg.store.cache_bytes);
         }
-        report.store_bytes = writer.close().file_bytes;
-        spilled = std::make_unique<store::SeriesReader>(
-            path, cfg.store.cache_bytes);
+        series = spilled.get();
       }
-      series = spilled.get();
-      report.sampling_seconds += spill_timer.seconds();
     }
+    report.sampling_seconds += ingest_seconds;
+    report.metrics["case.ingest_seconds"] = ingest_seconds;
 
     const auto selected = selection_stage(*series, cfg, report);
     data = sampling_stage(*series, std::span<const std::size_t>(selected),
                           cfg, report, sampling_energy);
+
+    // Reader-side I/O tallies, folded before the readers close.
+    if (cfg.backend == "skl2") {
+      record_spill_metrics(
+          report, static_cast<Skl2SpillSeries*>(spilled.get())->io_stats());
+    } else if (cfg.backend == "series") {
+      auto* reader = static_cast<store::SeriesReader*>(spilled.get());
+      SpillIoStats io;
+      io.fold(reader->cache_stats(), reader->io_bytes_read());
+      record_spill_metrics(report, io);
+    }
 
     // The spill is only needed until the training set exists; reclaim the
     // disk before the (potentially long) training stage.
@@ -558,6 +652,7 @@ CaseReport run_case(const DatasetBundle& bundle, CaseConfig cfg) {
   report.sampling_kilojoules = sampling_energy.projected_kilojoules();
 
   training_stage(data, cfg, report);
+  finalize_case_metrics(report);
   return report;
 }
 
@@ -576,6 +671,7 @@ CaseReport run_case(ProducerBundle& bundle, CaseConfig cfg) {
   }
 
   CaseReport report;
+  obs::Span case_span("case.run", "case");
   energy::EnergyCounter sampling_energy;
   ml::TensorDataset data;
   {
@@ -588,48 +684,63 @@ CaseReport run_case(ProducerBundle& bundle, CaseConfig cfg) {
     guard.dir = make_spill_dir(cfg.spill_dir);
     guard.armed = true;
     std::unique_ptr<field::SeriesSource> spilled;
-    Timer spill_timer;
-    std::size_t max_snap_bytes = 0;
-    if (cfg.backend == "series") {
-      const std::string path = (guard.dir / "series.skl3").string();
-      store::SeriesWriter writer(path, cfg.store);
-      while (auto snap = bundle.producer->next()) {
-        max_snap_bytes = std::max(max_snap_bytes, snap->bytes());
-        writer.append(*snap);
+    double ingest_seconds = 0.0;
+    {
+      obs::Span ingest_span("case.ingest", "case");
+      ScopedTimer spill_timer(ingest_seconds);
+      std::size_t max_snap_bytes = 0;
+      if (cfg.backend == "series") {
+        const std::string path = (guard.dir / "series.skl3").string();
+        store::SeriesWriter writer(path, cfg.store);
+        while (auto snap = bundle.producer->next()) {
+          max_snap_bytes = std::max(max_snap_bytes, snap->bytes());
+          writer.append(*snap);
+        }
+        // Check before close(): an empty series must fail with the
+        // producer-level message, not the store-internal one.
+        SICKLE_CHECK_MSG(writer.snapshots_appended() > 0,
+                         "producer yielded no snapshots");
+        const auto wr = writer.close();
+        report.store_bytes = wr.file_bytes;
+        report.ingest_peak_bytes = max_snap_bytes + wr.peak_buffered_bytes;
+        spilled = std::make_unique<store::SeriesReader>(
+            path, cfg.store.cache_bytes);
+      } else {  // skl2: one file per snapshot, written as produced
+        std::vector<std::string> paths;
+        paths.reserve(bundle.producer->num_snapshots());
+        std::size_t max_wave_bytes = 0;
+        std::size_t t = 0;
+        while (auto snap = bundle.producer->next()) {
+          max_snap_bytes = std::max(max_snap_bytes, snap->bytes());
+          paths.push_back(
+              (guard.dir / ("snap_" + std::to_string(t++) + ".skl2"))
+                  .string());
+          const auto wr = store::write_store(*snap, paths.back(), cfg.store);
+          report.store_bytes += wr.file_bytes;
+          max_wave_bytes = std::max(max_wave_bytes, wr.peak_buffered_bytes);
+        }
+        SICKLE_CHECK_MSG(!paths.empty(), "producer yielded no snapshots");
+        report.ingest_peak_bytes = max_snap_bytes + max_wave_bytes;
+        spilled = std::make_unique<Skl2FilesSeries>(std::move(paths),
+                                                   cfg.store.cache_bytes);
       }
-      // Check before close(): an empty series must fail with the
-      // producer-level message, not the store-internal one.
-      SICKLE_CHECK_MSG(writer.snapshots_appended() > 0,
-                       "producer yielded no snapshots");
-      const auto wr = writer.close();
-      report.store_bytes = wr.file_bytes;
-      report.ingest_peak_bytes = max_snap_bytes + wr.peak_buffered_bytes;
-      spilled = std::make_unique<store::SeriesReader>(
-          path, cfg.store.cache_bytes);
-    } else {  // skl2: one file per snapshot, written as produced
-      std::vector<std::string> paths;
-      paths.reserve(bundle.producer->num_snapshots());
-      std::size_t max_wave_bytes = 0;
-      std::size_t t = 0;
-      while (auto snap = bundle.producer->next()) {
-        max_snap_bytes = std::max(max_snap_bytes, snap->bytes());
-        paths.push_back(
-            (guard.dir / ("snap_" + std::to_string(t++) + ".skl2"))
-                .string());
-        const auto wr = store::write_store(*snap, paths.back(), cfg.store);
-        report.store_bytes += wr.file_bytes;
-        max_wave_bytes = std::max(max_wave_bytes, wr.peak_buffered_bytes);
-      }
-      SICKLE_CHECK_MSG(!paths.empty(), "producer yielded no snapshots");
-      report.ingest_peak_bytes = max_snap_bytes + max_wave_bytes;
-      spilled = std::make_unique<Skl2FilesSeries>(std::move(paths),
-                                                 cfg.store.cache_bytes);
     }
-    report.sampling_seconds += spill_timer.seconds();
+    report.sampling_seconds += ingest_seconds;
+    report.metrics["case.ingest_seconds"] = ingest_seconds;
 
     const auto selected = selection_stage(*spilled, cfg, report);
     data = sampling_stage(*spilled, std::span<const std::size_t>(selected),
                           cfg, report, sampling_energy);
+
+    if (cfg.backend == "series") {
+      auto* reader = static_cast<store::SeriesReader*>(spilled.get());
+      SpillIoStats io;
+      io.fold(reader->cache_stats(), reader->io_bytes_read());
+      record_spill_metrics(report, io);
+    } else {
+      record_spill_metrics(
+          report, static_cast<Skl2FilesSeries*>(spilled.get())->io_stats());
+    }
 
     spilled.reset();
     guard.remove_now();
@@ -637,6 +748,7 @@ CaseReport run_case(ProducerBundle& bundle, CaseConfig cfg) {
   report.sampling_kilojoules = sampling_energy.projected_kilojoules();
 
   training_stage(data, cfg, report);
+  finalize_case_metrics(report);
   return report;
 }
 

@@ -22,6 +22,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -101,6 +103,16 @@ struct CaseReport {
   std::size_t ingest_peak_bytes = 0;
   ml::TrainReport train;
   double training_kilojoules = 0.0;
+  /// Per-stage telemetry, populated on every run (independent of the
+  /// global obs::enabled() switch — these are per-case values, not
+  /// process-cumulative registry counters). Keys: `case.*_seconds` wall
+  /// times per stage, `case.sampled_points` / `case.store_bytes` /
+  /// `case.ingest_peak_bytes` mirrors of the scalar fields, and for
+  /// spill backends the reader-side `store.cache_*` / `store.io_*`
+  /// tallies. Keys ending in `_seconds` are wall-clock and vary run to
+  /// run; everything else is bit-stable for lossless codecs at
+  /// pipeline.threads == 1.
+  std::map<std::string, double> metrics;
 
   [[nodiscard]] double total_kilojoules() const noexcept {
     return sampling_kilojoules + training_kilojoules;

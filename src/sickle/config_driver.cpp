@@ -167,4 +167,14 @@ CaseConfig case_from_config(const Config& cfg) {
   return cc;
 }
 
+obs::ObsOptions obs_options_from_config(const Config& cfg) {
+  obs::ObsOptions oo;
+  oo.trace_path = cfg.get_str("observability", "trace_path", "");
+  oo.metrics_path = cfg.get_str("observability", "metrics_path", "");
+  oo.enabled = cfg.get_bool(
+      "observability", "enabled",
+      !oo.trace_path.empty() || !oo.metrics_path.empty());
+  return oo;
+}
+
 }  // namespace sickle

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "obs/obs.hpp"
 #include "sickle/case.hpp"
 
 namespace sickle {
@@ -57,6 +58,17 @@ namespace sickle {
 
 /// Build the full case (pipeline + training) from all three sections.
 [[nodiscard]] CaseConfig case_from_config(const Config& cfg);
+
+/// Build the observability options from the `observability` section:
+///   observability:
+///     trace_path: run.trace.json    # Chrome trace-event JSON export
+///     metrics_path: run.metrics.json# registry snapshot export
+///     enabled: true                 # optional master switch
+/// `enabled` defaults to true exactly when either path is set, so
+/// setting a path is enough to turn the layer on; an explicit
+/// `enabled: false` keeps a config's paths around without paying for
+/// collection. Absent section = disabled = zero overhead.
+[[nodiscard]] obs::ObsOptions obs_options_from_config(const Config& cfg);
 
 /// Normalize the paper's architecture spellings ("MLP_transformer",
 /// "CNN_Transformer", "lstm", ...) onto the internal names; throws

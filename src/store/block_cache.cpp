@@ -7,6 +7,8 @@
 #include <cerrno>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sickle::store {
 
@@ -40,6 +42,17 @@ BlockCache::BlockCache(std::size_t cache_bytes, std::size_t chunk_bytes_hint,
           : round_up_pow2(std::min<std::size_t>(shards, 256));
   shard_capacity_ = std::max<std::size_t>(cache_bytes / shard_count_, 1);
   shards_ = std::make_unique<Shard[]>(shard_count_);
+}
+
+BlockCache::~BlockCache() {
+  // Readers come and go per stage; the registry accumulates their cache
+  // behavior across the whole run (ROADMAP D2's exported hit rates).
+  if (!obs::enabled()) return;
+  const CacheStats total = stats();
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("store.cache.hits").add(total.hits);
+  reg.counter("store.cache.misses").add(total.misses);
+  reg.counter("store.cache.evictions").add(total.evictions);
 }
 
 BlockCache::Block BlockCache::insert(Shard& shard, std::uint64_t key,
@@ -87,6 +100,11 @@ ReadOnlyFile::ReadOnlyFile(const std::string& path) : path_(path) {
 }
 
 ReadOnlyFile::~ReadOnlyFile() {
+  if (obs::enabled() && bytes_read() > 0) {
+    obs::MetricsRegistry::global()
+        .counter("store.io.bytes_read")
+        .add(bytes_read());
+  }
   if (fd_ >= 0) ::close(fd_);
 }
 

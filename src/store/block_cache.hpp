@@ -41,6 +41,10 @@ class BlockCache {
   BlockCache(std::size_t cache_bytes, std::size_t chunk_bytes_hint,
              std::size_t shards = 0);
 
+  /// Publishes the final hit/miss/eviction tallies onto the global
+  /// metrics registry (`store.cache.*`) when observability is enabled.
+  ~BlockCache();
+
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
 
@@ -109,6 +113,9 @@ class ReadOnlyFile {
  public:
   /// Opens O_RDONLY; throws RuntimeError when the file cannot be opened.
   explicit ReadOnlyFile(const std::string& path);
+
+  /// Publishes the lifetime bytes_read() tally onto the global metrics
+  /// registry (`store.io.bytes_read`) when observability is enabled.
   ~ReadOnlyFile();
 
   ReadOnlyFile(const ReadOnlyFile&) = delete;

@@ -7,6 +7,8 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace sickle::store {
@@ -110,6 +112,7 @@ SeriesWriter::SeriesWriter(const std::string& path, const StoreOptions& opts)
 }
 
 void SeriesWriter::append(const field::Snapshot& snap) {
+  obs::Span span("store.append", "store");
   SICKLE_CHECK_MSG(!closed_, "append() on a closed SeriesWriter");
   if (layout_ == nullptr) {
     // First snapshot locks grid, layout, and variable set, and writes the
@@ -402,11 +405,23 @@ std::shared_ptr<const std::vector<double>> SeriesReader::chunk(
   const std::uint64_t key =
       (t * names_.size() + field_index) * layout_.count() + chunk_id;
   return cache_->get(key, [&]() -> BlockCache::Block {
+    obs::Span load_span("store.load_chunk", "store");
     const auto block = file_->read(index_[key].offset, index_[key].bytes);
     if (version_ >= 3 &&
         fnv1a64(std::span<const std::uint8_t>(block)) !=
             index_[key].checksum) {
       throw RuntimeError("SKL3 chunk checksum mismatch (corrupt block)");
+    }
+    if (obs::enabled()) {
+      obs::Span decode_span("codec.decode", "codec");
+      Timer decode_timer;
+      auto values = std::make_shared<const std::vector<double>>(
+          codec_->decode(std::span<const std::uint8_t>(block),
+                         layout_.box(chunk_id).points()));
+      obs::MetricsRegistry::global()
+          .gauge("codec.decode_seconds")
+          .add(decode_timer.seconds());
+      return values;
     }
     return std::make_shared<const std::vector<double>>(
         codec_->decode(std::span<const std::uint8_t>(block),

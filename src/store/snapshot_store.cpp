@@ -6,10 +6,18 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sickle::store {
 
 namespace {
+
+/// Fold one encode/decode interval onto the registry's codec seconds
+/// (the counters the scattered StoreWriteReport fields migrate onto).
+void add_codec_seconds(const char* which, double seconds) {
+  obs::MetricsRegistry::global().gauge(which).add(seconds);
+}
 
 constexpr char kMagic[4] = {'S', 'K', 'L', '2'};
 /// v1 puts the chunk index *before* the payload, which forces the writer
@@ -69,20 +77,25 @@ WaveWriteStats write_blocks_in_waves(const field::Snapshot& snap,
       ++wave_end;
     }
     std::vector<std::vector<std::uint8_t>> blocks(wave_end - wave_begin);
-    Timer encode_timer;
-    parallel_for(
-        blocks.size(),
-        [&](std::size_t i) {
-          const std::size_t b = wave_begin + i;
-          const auto& data = snap.get(names[b / nchunks]).data();
-          const auto vals =
-              extract_chunk(data, snap.shape(), layout.box(b % nchunks));
-          blocks[i] = codec.encode(std::span<const double>(vals));
-        },
-        pool, /*grain=*/1);
     // encode_seconds is extract + encode only — stop the clock before the
     // flush so storage benches report codec throughput, not disk speed.
-    stats.encode_seconds += encode_timer.seconds();
+    double wave_seconds = 0.0;
+    {
+      obs::Span span("codec.encode", "codec");
+      ScopedTimer encode_timer(wave_seconds);
+      parallel_for(
+          blocks.size(),
+          [&](std::size_t i) {
+            const std::size_t b = wave_begin + i;
+            const auto& data = snap.get(names[b / nchunks]).data();
+            const auto vals =
+                extract_chunk(data, snap.shape(), layout.box(b % nchunks));
+            blocks[i] = codec.encode(std::span<const double>(vals));
+          },
+          pool, /*grain=*/1);
+    }
+    stats.encode_seconds += wave_seconds;
+    if (obs::enabled()) add_codec_seconds("codec.encode_seconds", wave_seconds);
     std::size_t buffered = 0;
     for (auto& b : blocks) {
       index.push_back(BlockRef{static_cast<std::uint64_t>(out.tellp()),
@@ -148,17 +161,22 @@ StoreWriteReport write_store_v1(const field::Snapshot& snap,
   report.chunks = total;
   report.raw_bytes = snap.bytes();
   std::vector<std::vector<std::uint8_t>> blocks(total);
-  Timer encode_timer;
-  parallel_for(
-      total,
-      [&](std::size_t i) {
-        const auto& data = snap.get(names[i / nchunks]).data();
-        const auto vals =
-            extract_chunk(data, snap.shape(), layout.box(i % nchunks));
-        blocks[i] = codec->encode(std::span<const double>(vals));
-      },
-      opts.pool, /*grain=*/1);
-  report.encode_seconds = encode_timer.seconds();
+  {
+    obs::Span span("codec.encode", "codec");
+    ScopedTimer encode_timer(report.encode_seconds);
+    parallel_for(
+        total,
+        [&](std::size_t i) {
+          const auto& data = snap.get(names[i / nchunks]).data();
+          const auto vals =
+              extract_chunk(data, snap.shape(), layout.box(i % nchunks));
+          blocks[i] = codec->encode(std::span<const double>(vals));
+        },
+        opts.pool, /*grain=*/1);
+  }
+  if (obs::enabled()) {
+    add_codec_seconds("codec.encode_seconds", report.encode_seconds);
+  }
   for (const auto& b : blocks) report.peak_buffered_bytes += b.size();
 
   write_skl2_header(f, kVersionLegacy, snap, layout, *codec, opts.tolerance,
@@ -373,11 +391,21 @@ std::shared_ptr<const std::vector<double>> ChunkReader::chunk(
   SICKLE_CHECK(field_index < names_.size() && chunk_id < layout_.count());
   const std::uint64_t key = field_index * layout_.count() + chunk_id;
   return cache_->get(key, [&]() -> BlockCache::Block {
+    obs::Span load_span("store.load_chunk", "store");
     const auto block = file_->read(index_[key].offset, index_[key].bytes);
     if (version_ >= 3 &&
         fnv1a64(std::span<const std::uint8_t>(block)) !=
             index_[key].checksum) {
       throw RuntimeError("SKL2 chunk checksum mismatch (corrupt block)");
+    }
+    if (obs::enabled()) {
+      obs::Span decode_span("codec.decode", "codec");
+      Timer decode_timer;
+      auto values = std::make_shared<const std::vector<double>>(
+          codec_->decode(std::span<const std::uint8_t>(block),
+                         layout_.box(chunk_id).points()));
+      add_codec_seconds("codec.decode_seconds", decode_timer.seconds());
+      return values;
     }
     return std::make_shared<const std::vector<double>>(
         codec_->decode(std::span<const std::uint8_t>(block),

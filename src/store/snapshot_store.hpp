@@ -184,6 +184,13 @@ class ChunkReader final : public field::FieldSource {
   /// Aggregated over all shards (locks each shard briefly).
   [[nodiscard]] CacheStats cache_stats() const { return cache_->stats(); }
 
+  /// Lifetime pread(2) bytes (payload + checksummed blocks) — mirrors
+  /// SeriesReader::io_bytes_read() so cache-pressure re-reads are
+  /// observable on the SKL2 path too.
+  [[nodiscard]] std::uint64_t io_bytes_read() const noexcept {
+    return file_->bytes_read();
+  }
+
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return cache_->shard_count();
   }

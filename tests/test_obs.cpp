@@ -1,0 +1,369 @@
+// Observability layer: metrics registry, scoped span tracing, Chrome
+// trace export, and the per-stage case telemetry the orchestrator and
+// store publish through it. The pool fan-out tests double as the TSan
+// targets for the per-thread span buffers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sickle/case.hpp"
+#include "sickle/dataset_zoo.hpp"
+#include "store/snapshot_store.hpp"
+
+namespace sickle {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Reset every piece of process-global obs state so tests compose in one
+/// process as well as under ctest's per-test processes.
+void reset_obs() {
+  obs::set_enabled(false);
+  obs::Tracer::instance().clear();
+  obs::MetricsRegistry::global().reset();
+}
+
+CaseConfig tiny_case(const std::string& backend, const std::string& ingest) {
+  CaseConfig cfg;
+  cfg.pipeline.cube = {8, 8, 8};
+  cfg.pipeline.hypercube_method = "random";
+  cfg.pipeline.point_method = "maxent";
+  cfg.pipeline.num_hypercubes = 3;
+  cfg.pipeline.num_samples = 51;
+  cfg.pipeline.num_clusters = 5;
+  cfg.pipeline.seed = 7;
+  cfg.arch = "MLP_Transformer";
+  cfg.train.epochs = 2;
+  cfg.train.batch = 4;
+  cfg.model_dim = 16;
+  cfg.model_heads = 2;
+  cfg.backend = backend;
+  cfg.ingest = ingest;
+  cfg.store.chunk = {16, 16, 16};
+  cfg.store.codec = "delta";
+  return cfg;
+}
+
+CaseReport run_tiny(const std::string& backend, const std::string& ingest,
+                    CaseConfig cfg) {
+  (void)backend;
+  (void)ingest;
+  ProducerBundle bundle = make_dataset_producer("SST-P1F4", 3, 0.5);
+  return run_case(bundle, cfg);
+}
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  obs::MetricsRegistry reg;
+  auto& c = reg.counter("test.events");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("test.events"), &c);
+
+  auto& g = reg.gauge("test.busy_seconds");
+  g.add(0.5);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+
+  auto& h = reg.histogram("test.latency_seconds");
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty: sentinels clamp to 0
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.observe(3.0);
+  h.observe(1.0);
+  h.observe(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.at("test.events"), 5.0);
+  EXPECT_DOUBLE_EQ(snap.at("test.busy_seconds"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.at("test.latency_seconds.count"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.at("test.latency_seconds.min"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.at("test.latency_seconds.max"), 3.0);
+
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  obs::MetricsRegistry reg;
+  (void)reg.counter("test.value");
+  EXPECT_THROW((void)reg.gauge("test.value"), RuntimeError);
+  EXPECT_THROW((void)reg.histogram("test.value"), RuntimeError);
+}
+
+TEST(Metrics, JsonExportIsSortedAndParsesBack) {
+  obs::MetricsRegistry reg;
+  reg.counter("b.count").add(2);
+  reg.gauge("a.seconds").set(1.5);
+  const std::string json = reg.to_json();
+  // Sorted: "a.seconds" before "b.count"; both carried verbatim.
+  EXPECT_LT(json.find("\"a.seconds\": 1.5"), json.find("\"b.count\": 2"));
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+
+  const auto path = fs::temp_directory_path() / "sickle_obs_metrics.json";
+  reg.write_json(path.string());
+  std::ifstream in(path);
+  const std::string on_disk((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(on_disk, json);
+  fs::remove(path);
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  reset_obs();
+  const std::size_t before = obs::Tracer::instance().size();
+  for (int i = 0; i < 200000; ++i) {
+    obs::Span span("test.disabled", "test");
+  }
+  EXPECT_EQ(obs::Tracer::instance().size(), before);
+  // The registry is untouched too: disabled instrumentation publishes
+  // nothing (the BlockCache/pool publications are gated on enabled()).
+  EXPECT_TRUE(obs::MetricsRegistry::global().snapshot().empty());
+}
+
+TEST(Trace, NestedSpansSingleThread) {
+  reset_obs();
+  obs::set_enabled(true);
+  {
+    obs::Span root("test.root", "test");
+    {
+      obs::Span child("test.child", "test");
+      { obs::Span leaf("test.leaf", "test"); }
+    }
+    { obs::Span sibling("test.sibling", "test"); }
+  }
+  obs::set_enabled(false);
+
+  const auto events = obs::Tracer::instance().events();
+  ASSERT_EQ(events.size(), 4u);
+  // Sorted (tid, ts, -dur): root first, then child, leaf, sibling.
+  EXPECT_STREQ(events[0].name, "test.root");
+  EXPECT_STREQ(events[1].name, "test.child");
+  EXPECT_STREQ(events[2].name, "test.leaf");
+  EXPECT_STREQ(events[3].name, "test.sibling");
+  EXPECT_EQ(events[0].parent, 0u);
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].parent, events[0].id);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].parent, events[1].id);
+  EXPECT_EQ(events[2].depth, 2u);
+  EXPECT_EQ(events[3].parent, events[0].id);
+  EXPECT_EQ(events[3].depth, 1u);
+  // Containment: every child interval inside its parent's.
+  for (const auto& ev : events) {
+    if (ev.parent == 0) continue;
+    const auto parent = std::find_if(
+        events.begin(), events.end(),
+        [&](const obs::TraceEvent& p) { return p.id == ev.parent; });
+    ASSERT_NE(parent, events.end());
+    EXPECT_GE(ev.ts_ns, parent->ts_ns);
+    EXPECT_LE(ev.ts_ns + ev.dur_ns, parent->ts_ns + parent->dur_ns);
+  }
+  obs::Tracer::instance().clear();
+  EXPECT_EQ(obs::Tracer::instance().size(), 0u);
+}
+
+TEST(Trace, PoolFanOutNestingDeterministic) {
+  // Spans on pool workers land in per-thread buffers; every task's
+  // inner/outer pair must nest under that worker's pool.task span with
+  // consistent parent links regardless of scheduling. This is the TSan
+  // target for the tracer's buffer handoff.
+  reset_obs();
+  obs::set_enabled(true);
+  const std::uint64_t tasks_before =
+      obs::MetricsRegistry::global().counter("pool.tasks_executed").value();
+  constexpr int kTasks = 16;
+  {
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    for (int i = 0; i < kTasks; ++i) {
+      group.run([] {
+        obs::Span outer("test.outer", "test");
+        obs::Span inner("test.inner", "test");
+      });
+    }
+    group.wait();
+  }
+  obs::set_enabled(false);
+
+  const auto events = obs::Tracer::instance().events();
+  std::map<std::uint64_t, const obs::TraceEvent*> by_id;
+  int pool_spans = 0, outer_spans = 0, inner_spans = 0;
+  for (const auto& ev : events) by_id[ev.id] = &ev;
+  for (const auto& ev : events) {
+    if (std::string_view(ev.name) == "pool.task") {
+      ++pool_spans;
+      EXPECT_EQ(ev.parent, 0u);
+      EXPECT_EQ(ev.depth, 0u);
+    } else if (std::string_view(ev.name) == "test.outer") {
+      ++outer_spans;
+      ASSERT_TRUE(by_id.count(ev.parent));
+      EXPECT_STREQ(by_id[ev.parent]->name, "pool.task");
+      EXPECT_EQ(by_id[ev.parent]->tid, ev.tid);
+      EXPECT_EQ(ev.depth, 1u);
+    } else if (std::string_view(ev.name) == "test.inner") {
+      ++inner_spans;
+      ASSERT_TRUE(by_id.count(ev.parent));
+      EXPECT_STREQ(by_id[ev.parent]->name, "test.outer");
+      EXPECT_EQ(by_id[ev.parent]->tid, ev.tid);
+      EXPECT_EQ(ev.depth, 2u);
+    }
+  }
+  EXPECT_EQ(pool_spans, kTasks);
+  EXPECT_EQ(outer_spans, kTasks);
+  EXPECT_EQ(inner_spans, kTasks);
+  EXPECT_EQ(
+      obs::MetricsRegistry::global().counter("pool.tasks_executed").value(),
+      tasks_before + kTasks);
+  reset_obs();
+}
+
+TEST(Trace, ChromeExportRoundTripsThroughTraceCheck) {
+  if (std::system("python3 --version > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 not available";
+  }
+  reset_obs();
+  obs::set_enabled(true);
+  {
+    obs::Span root("test.root", "test");
+    obs::Span child("test.child", "test");
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    for (int i = 0; i < 4; ++i) {
+      group.run([] { obs::Span task_span("test.task", "test"); });
+    }
+    group.wait();
+  }
+  obs::set_enabled(false);
+
+  const auto path = fs::temp_directory_path() / "sickle_obs_roundtrip.json";
+  obs::Tracer::instance().write_chrome_trace(path.string());
+  const std::string cmd =
+      "python3 \"" SICKLE_SOURCE_DIR "/tools/trace_check.py\" \"" +
+      path.string() +
+      "\" --require-span test.root --require-span test.child "
+      "--require-span test.task --require-span pool.task "
+      "--require-cat test --require-cat pool > /dev/null 2>&1";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << "trace_check.py rejected "
+                                         << path.string();
+  fs::remove(path);
+  reset_obs();
+}
+
+TEST(Case, StageSpansCoverOrchestratorAndStore) {
+  reset_obs();
+  obs::set_enabled(true);
+  auto cfg = tiny_case("series", "streaming");
+  cfg.temporal.num_snapshots = 2;
+  cfg.pipeline.threads = 2;  // dedicated pool => pool.task spans
+  const auto report = run_tiny("series", "streaming", cfg);
+  obs::set_enabled(false);
+  EXPECT_GT(report.sampled_points, 0u);
+
+  const auto events = obs::Tracer::instance().events();
+  std::map<std::string, const obs::TraceEvent*> first;
+  for (const auto& ev : events) first.emplace(ev.name, &ev);
+  for (const char* want :
+       {"case.run", "case.ingest", "case.selection", "case.sampling",
+        "case.training", "store.append", "store.load_chunk", "codec.encode",
+        "codec.decode", "pool.task"}) {
+    EXPECT_TRUE(first.count(want)) << "missing span: " << want;
+  }
+  // The four stages nest directly under the case.run root.
+  ASSERT_TRUE(first.count("case.run"));
+  const auto root_id = first["case.run"]->id;
+  EXPECT_EQ(first["case.run"]->parent, 0u);
+  for (const char* stage : {"case.ingest", "case.selection", "case.sampling",
+                            "case.training"}) {
+    ASSERT_TRUE(first.count(stage));
+    EXPECT_EQ(first[stage]->parent, root_id) << stage;
+    EXPECT_EQ(first[stage]->depth, 1u) << stage;
+  }
+  reset_obs();
+}
+
+TEST(Case, MetricsBitStableAcrossRunsAndBackends) {
+  // Everything except wall-clock keys must be identical run to run at
+  // threads == 1 — and populated even with the obs layer disabled.
+  reset_obs();
+  const auto strip_seconds = [](const std::map<std::string, double>& m) {
+    std::map<std::string, double> out;
+    for (const auto& [k, v] : m) {
+      if (k.size() < 8 || k.substr(k.size() - 8) != "_seconds") out[k] = v;
+    }
+    return out;
+  };
+  auto cfg = tiny_case("series", "streaming");
+  const auto a = run_tiny("series", "streaming", cfg);
+  const auto b = run_tiny("series", "streaming", cfg);
+  EXPECT_FALSE(a.metrics.empty());
+  EXPECT_EQ(strip_seconds(a.metrics), strip_seconds(b.metrics));
+  EXPECT_EQ(a.metrics.at("case.sampled_points"),
+            static_cast<double>(a.sampled_points));
+  EXPECT_GT(a.metrics.at("store.io_bytes_read"), 0.0);
+
+  const auto mem = run_tiny("memory", "materialize",
+                            tiny_case("memory", "materialize"));
+  EXPECT_EQ(mem.sample_hash, a.sample_hash);
+  EXPECT_EQ(mem.metrics.at("case.sampled_points"),
+            a.metrics.at("case.sampled_points"));
+  EXPECT_EQ(mem.metrics.count("store.cache_hits"), 0u);  // no spill store
+}
+
+TEST(Case, CachePressureSurfacesEvictionsAndIoBytes) {
+  // Small chunks + a cache holding ~2 blocks: the sampling pass must
+  // observe evictions, and both tallies must surface in the report.
+  reset_obs();
+  auto cfg = tiny_case("series", "streaming");
+  cfg.store.chunk = {8, 8, 8};
+  cfg.store.cache_bytes = 8u << 10;
+  const auto report = run_tiny("series", "streaming", cfg);
+  EXPECT_GT(report.metrics.at("store.cache_misses"), 0.0);
+  EXPECT_GT(report.metrics.at("store.cache_evictions"), 0.0);
+  EXPECT_GT(report.metrics.at("store.io_bytes_read"), 0.0);
+}
+
+TEST(Store, ReaderExposesCacheStatsAndIoBytes) {
+  // The satellite accessors: ChunkReader::io_bytes_read() plus
+  // cache_stats() evictions under pressure, without the case runner.
+  const auto bundle = make_dataset("SST-P1F4", 3, 0.5);
+  const auto dir = fs::temp_directory_path() / "sickle_obs_reader";
+  fs::create_directories(dir);
+  const std::string path = (dir / "snap.skl2").string();
+  store::StoreOptions opts;
+  opts.chunk = {8, 8, 8};
+  opts.codec = "delta";
+  (void)store::write_store(bundle.data.snapshot(0), path, opts);
+
+  const store::ChunkReader reader(path, /*cache_bytes=*/8u << 10);
+  const auto round_trip = reader.load_snapshot();
+  EXPECT_EQ(round_trip.names(), bundle.data.snapshot(0).names());
+  const auto stats = reader.cache_stats();
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(reader.io_bytes_read(), 0u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sickle

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Observability zero-overhead gate: assert that the interleaved
+obs-on/obs-off pipeline row bench_kernels emits stays under a small
+ratio when the layer is enabled, and is therefore unmeasurable when it
+is disabled (the disabled path is a single relaxed atomic load per
+would-be span).
+
+Usage:
+    python3 tools/check_obs_overhead.py BENCH_kernels.json \
+        [--max-ratio 1.03] [--record obs_overhead_pipeline]
+
+The record is produced by record_obs_overhead_row() in
+bench/bench_kernels.cpp: min-of-N interleaved wall times of the
+store-backed streaming sampling pipeline with obs::set_enabled(false)
+vs (true). Exit status 1 when the record is missing or the ratio
+exceeds the bound.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="freshly emitted BENCH_kernels.json")
+    parser.add_argument("--max-ratio", type=float, default=1.03,
+                        help="fail when enabled/disabled exceeds this "
+                             "(default 1.03, the <3%% acceptance bound)")
+    parser.add_argument("--record", default="obs_overhead_pipeline",
+                        help="record name to check")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_obs_overhead: cannot load {args.report}: {e}",
+              file=sys.stderr)
+        return 1
+
+    rec = next((r for r in doc.get("records", [])
+                if r.get("name") == args.record), None)
+    if rec is None:
+        print(f"check_obs_overhead: record {args.record!r} not in "
+              f"{args.report}", file=sys.stderr)
+        return 1
+
+    disabled = rec.get("disabled_seconds")
+    enabled = rec.get("enabled_seconds")
+    ratio = rec.get("overhead_ratio")
+    if ratio is None and disabled and enabled:
+        ratio = enabled / disabled
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        print(f"check_obs_overhead: record {args.record!r} has no usable "
+              f"overhead_ratio", file=sys.stderr)
+        return 1
+
+    verdict = "OK" if ratio <= args.max_ratio else "FAIL"
+    print(f"check_obs_overhead: {verdict} — disabled {disabled}s, "
+          f"enabled {enabled}s, ratio {ratio:.4f} "
+          f"(bound {args.max_ratio:.2f})")
+    if verdict == "FAIL":
+        print("The observability layer is costing measurable wall time "
+              "on the pipeline row; profile the span/counter hot paths "
+              "before merging.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,9 +21,10 @@ fi
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
-# Emit the case config for one (backend, ingest, codec) combination.
+# Emit the case config for one (backend, ingest, codec) combination; an
+# optional fifth argument sets the sampling pool width (subsample.threads).
 write_cfg() {
-  local cfg=$1 backend=$2 ingest=$3 codec=$4
+  local cfg=$1 backend=$2 ingest=$3 codec=$4 threads=${5:-1}
   cat > "$cfg" <<EOF
 shared:
   dataset: SST-P1F4
@@ -39,6 +40,7 @@ subsample:
   nxsl: 8
   nysl: 8
   nzsl: 8
+  threads: $threads
 
 store:
   backend: $backend
@@ -111,6 +113,40 @@ for codec in raw gorilla zstd; do
   fi
   check_combo series streaming "$codec"
 done
+
+# Traced combo: one series/streaming run with the observability section
+# set, temporal selection on, and a 2-worker sampling pool, so the trace
+# carries all four orchestrator stage spans plus store/codec/pool events.
+# The emitted Chrome trace is validated structurally by trace_check.py.
+echo "=== traced combo: series/streaming + temporal + observability"
+traced_cfg="$workdir/case_traced.yaml"
+write_cfg "$traced_cfg" series streaming delta 2
+cat >> "$traced_cfg" <<EOF
+
+temporal:
+  num_snapshots: 2
+
+observability:
+  trace_path: $workdir/run.trace.json
+  metrics_path: $workdir/run.metrics.json
+EOF
+traced_out=$("$BIN" "$traced_cfg")
+echo "$traced_out" | grep -E "sample set hash|trace written|metrics written"
+echo "$traced_out" | grep -q "case metrics:"
+echo "$traced_out" | grep -q "metrics summary:"
+[[ -s "$workdir/run.metrics.json" ]]
+if command -v python3 > /dev/null 2>&1; then
+  python3 "$(dirname "$0")/trace_check.py" "$workdir/run.trace.json" \
+    --require-span case.run --require-span case.ingest \
+    --require-span case.selection --require-span case.sampling \
+    --require-span case.training --require-span store.append \
+    --require-span store.load_chunk --require-span codec.encode \
+    --require-span codec.decode --require-span pool.task \
+    --require-cat case --require-cat store --require-cat codec \
+    --require-cat pool
+else
+  echo "    (python3 not found; trace structural check skipped)"
+fi
 
 echo
 echo "OK: all $runs backend x ingest x codec combinations bit-identical"

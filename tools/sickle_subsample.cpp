@@ -38,6 +38,8 @@ int main(int argc, char** argv) {
     const Config cfg = Config::load(argv[1]);
     const std::string label = dataset_label_from_config(cfg);
     std::printf("dataset: %s\n", label.c_str());
+    const obs::ObsOptions oo = obs_options_from_config(cfg);
+    obs::apply(oo);
     DatasetBundle bundle = make_dataset(
         label, static_cast<std::uint64_t>(cfg.get_int("shared", "seed", 42)),
         dataset_scale_from_config(cfg));
@@ -72,6 +74,19 @@ int main(int argc, char** argv) {
     std::printf("CPU Energy: %.6f kJ\n",
                 result.energy.projected_kilojoules());
     std::printf("%s\n", result.energy.report().c_str());
+    if (oo.enabled) {
+      const std::string table = obs::summary_table();
+      if (!table.empty()) {
+        std::printf("metrics summary:\n%s", table.c_str());
+      }
+      obs::finalize(oo);
+      if (!oo.trace_path.empty()) {
+        std::printf("trace written: %s\n", oo.trace_path.c_str());
+      }
+      if (!oo.metrics_path.empty()) {
+        std::printf("metrics written: %s\n", oo.metrics_path.c_str());
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
     const std::string label = dataset_label_from_config(cfg);
     std::printf("dataset: %s\n", label.c_str());
     const CaseConfig cc = case_from_config(cfg);
+    const obs::ObsOptions oo = obs_options_from_config(cfg);
+    obs::apply(oo);
     ProducerBundle bundle = make_dataset_producer(
         label, static_cast<std::uint64_t>(cfg.get_int("shared", "seed", 42)),
         dataset_scale_from_config(cfg));
@@ -49,6 +51,25 @@ int main(int argc, char** argv) {
                 report.sampling_seconds + report.train.seconds);
     std::printf("Total Energy Consumed: %.6f kJ\n",
                 report.total_kilojoules());
+    if (oo.enabled) {
+      // Per-case telemetry plus the process-wide registry (store/pool/
+      // codec tallies accumulated by the instrumented layers).
+      std::printf("case metrics:\n");
+      for (const auto& [name, value] : report.metrics) {
+        std::printf("  %-28s %.6g\n", name.c_str(), value);
+      }
+      const std::string table = obs::summary_table();
+      if (!table.empty()) {
+        std::printf("metrics summary:\n%s", table.c_str());
+      }
+      obs::finalize(oo);
+      if (!oo.trace_path.empty()) {
+        std::printf("trace written: %s\n", oo.trace_path.c_str());
+      }
+      if (!oo.metrics_path.empty()) {
+        std::printf("metrics written: %s\n", oo.metrics_path.c_str());
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
