@@ -11,8 +11,11 @@
 
 #include "bench_util.hpp"
 #include "common/mathx.hpp"
+#include "common/timer.hpp"
 #include "field/derived.hpp"
 #include "flow/cylinder.hpp"
+#include "infer/engine.hpp"
+#include "infer/prune.hpp"
 #include "ml/models.hpp"
 #include "sickle/case.hpp"
 
@@ -97,5 +100,66 @@ int main() {
   }
   std::printf("(paper: ratios < 1, i.e. MaxEnt more accurate and more "
               "reproducible)\n");
+
+  // Serving latency for the surrogate the sweep just characterized: the
+  // largest configuration retrained once, then compiled (src/infer/) and
+  // magnitude-pruned. This is the deploy-side counterpart of the
+  // accuracy table — what one drag prediction costs per solver step.
+  {
+    const std::size_t ns = 540;
+    const auto data =
+        build_drag_dataset(bundle, "maxent", ns, window, 1, nullptr);
+    Rng mrng(100);
+    ml::LstmModelConfig mc;
+    mc.in_channels = 2 * ns;
+    mc.hidden = 16;
+    mc.out_channels = 1;
+    ml::LstmModel model(mc, mrng);
+    ml::TrainConfig tc;
+    tc.epochs = 25;
+    tc.batch = 16;
+    tc.lr = 2e-3;
+    tc.patience = 8;
+    (void)ml::fit(model, data, tc);
+    model.set_training(false);
+
+    infer::Engine engine = infer::compile(model);
+    const auto& x0 = data.input(0);
+    ml::Tensor xb = x0.reshaped({1, x0.dim(0), x0.dim(1)});
+    std::vector<float> out(engine.output_features());
+    auto time_ns = [](std::size_t reps, auto&& fn) {
+      fn();
+      Timer t;
+      for (std::size_t r = 0; r < reps; ++r) fn();
+      return t.seconds() * 1e9 / static_cast<double>(reps);
+    };
+    const double train_ns = time_ns(64, [&] { (void)model.forward(xb); });
+    const double engine_ns =
+        time_ns(512, [&] { engine.predict(x0.data(), out); });
+
+    std::vector<float> probes;
+    const std::size_t np = std::min<std::size_t>(16, data.size());
+    for (std::size_t p = 0; p < np; ++p) {
+      const auto span = data.input(p).data();
+      probes.insert(probes.end(), span.begin(), span.end());
+    }
+    infer::PruneOptions popts;
+    popts.rms_threshold = 0.05;
+    const auto preport = infer::prune(engine, probes, np, popts);
+    const double pruned_ns =
+        time_ns(512, [&] { engine.predict(x0.data(), out); });
+
+    std::printf("\nserving latency (ns=%zu, hidden 16, window %zu):\n", ns,
+                window);
+    bench::row_header({"path", "latency_ns", "speedup"});
+    std::printf("%-22s%-22.0f%-22s\n", "training forward", train_ns, "1.0x");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx", train_ns / engine_ns);
+    std::printf("%-22s%-22.0f%-22s\n", "compiled engine", engine_ns, buf);
+    std::snprintf(buf, sizeof(buf), "%.1fx", train_ns / pruned_ns);
+    std::printf("%-22s%-22.0f%-22s  (hidden %zu -> %zu, rms %.4g)\n",
+                "pruned engine", pruned_ns, buf, preport.initial_hidden,
+                preport.final_hidden, preport.final_rms);
+  }
   return 0;
 }

@@ -209,6 +209,69 @@ void BM_CubeScoringFused(benchmark::State& state) {
 }
 BENCHMARK(BM_CubeScoringFused);
 
+// ------------------------------------------------------------ KL strengths
+//
+// The Eq. 2 node-strength reduction in isolation, on synthetic [n x k]
+// PMF matrices: "Row" is the blockwise O(n·k)-per-row kernel over
+// precomputed logs (O(n²·k) for all rows); "Algebraic" is the
+// column-log-sum identity Σ_j KL(p_i||p_j) = Σ_b p_i[b]·(n·log p_i[b] −
+// S[b]), O(n·k) total. Equivalence is test-asserted in test_stats; the
+// records here pin the asymptotic win (and make a regression back to the
+// quadratic form impossible to miss). The 100k-cube arg runs only the
+// algebraic form — the row kernel would take minutes there, which is the
+// point.
+
+std::vector<double> bench_pmfs(std::size_t n, std::size_t k) {
+  Rng rng(12);
+  std::vector<double> pmfs(n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t b = 0; b < k; ++b) {
+      const double v = rng.uniform();
+      pmfs[i * k + b] = v;
+      sum += v;
+    }
+    for (std::size_t b = 0; b < k; ++b) pmfs[i * k + b] /= sum;
+  }
+  return pmfs;
+}
+
+void BM_KlStrengthsRow(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 8;
+  const auto pmfs = bench_pmfs(n, k);
+  const auto logs = stats::log_pmf_rows(pmfs, n, k);
+  std::vector<double> strengths(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      strengths[i] = stats::kl_row_strength(pmfs, logs, n, k, i);
+    }
+    benchmark::DoNotOptimize(strengths.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * k));
+}
+BENCHMARK(BM_KlStrengthsRow)->Arg(512)->Arg(4096);
+
+void BM_KlStrengthsAlgebraic(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 8;
+  const auto pmfs = bench_pmfs(n, k);
+  const auto logs = stats::log_pmf_rows(pmfs, n, k);
+  std::vector<double> strengths(n);
+  for (auto _ : state) {
+    const auto col_sums = stats::log_col_sums(logs, n, k);
+    for (std::size_t i = 0; i < n; ++i) {
+      strengths[i] =
+          stats::kl_row_strength_fast(pmfs, logs, col_sums, n, k, i);
+    }
+    benchmark::DoNotOptimize(strengths.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * k));
+}
+BENCHMARK(BM_KlStrengthsAlgebraic)->Arg(512)->Arg(4096)->Arg(100000);
+
 // ------------------------------------------------------------ SIMD kernels
 //
 // The three `#pragma omp simd` hot loops, each paired with a scalar

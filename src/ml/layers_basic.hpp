@@ -25,6 +25,11 @@ class Dense final : public Module {
   [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
   [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
 
+  // Read-only weight access for checkpoint converters (infer::compile).
+  [[nodiscard]] const Tensor& weight() const noexcept { return weight_.value; }
+  [[nodiscard]] const Tensor& bias() const noexcept { return bias_.value; }
+  [[nodiscard]] bool has_bias() const noexcept { return has_bias_; }
+
  private:
   std::size_t in_, out_;
   Param weight_;
@@ -43,6 +48,7 @@ class ActivationLayer final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "Activation"; }
+  [[nodiscard]] Activation kind() const noexcept { return kind_; }
 
  private:
   Activation kind_;

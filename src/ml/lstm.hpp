@@ -23,6 +23,12 @@ class Lstm final : public Module {
   [[nodiscard]] std::string name() const override { return "Lstm"; }
 
   [[nodiscard]] std::size_t hidden_size() const noexcept { return hidden_; }
+  [[nodiscard]] std::size_t input_size() const noexcept { return input_; }
+
+  // Read-only weight access for checkpoint converters (infer::compile).
+  [[nodiscard]] const Tensor& w_x() const noexcept { return w_x_.value; }
+  [[nodiscard]] const Tensor& w_h() const noexcept { return w_h_.value; }
+  [[nodiscard]] const Tensor& bias() const noexcept { return bias_.value; }
 
  private:
   std::size_t input_, hidden_;

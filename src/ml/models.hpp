@@ -41,6 +41,15 @@ class LstmModel final : public Module {
   void set_training(bool training) override;
   [[nodiscard]] std::string name() const override { return "LstmModel"; }
 
+  // Structure access for checkpoint converters (infer::compile): the two
+  // recurrent layers and the dense head, plus the construction config.
+  [[nodiscard]] const LstmModelConfig& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] const Lstm& lstm1() const noexcept { return lstm1_; }
+  [[nodiscard]] const Lstm& lstm2() const noexcept { return lstm2_; }
+  [[nodiscard]] Sequential& head() noexcept { return head_; }
+
  private:
   LstmModelConfig cfg_;
   Lstm lstm1_, lstm2_;

@@ -52,9 +52,10 @@ namespace sickle::sampling {
     std::size_t points_per_cube);
 
 /// KL node strengths (Eq. 2) over flat [n x k] PMFs: strength[i] =
-/// sum_j KL(p_i || p_j), blocked via stats::kl_row_strength and
-/// parallelized by row. Each row is computed wholly by one task, so the
-/// result is independent of the thread count.
+/// sum_j KL(p_i || p_j), computed in O(n·k) total via the algebraic
+/// column-log-sum identity (stats::kl_row_strength_fast) and parallelized
+/// by row. Each row is computed wholly by one task, so the result is
+/// independent of the thread count.
 [[nodiscard]] std::vector<double> kl_node_strengths(
     std::span<const double> pmfs, std::size_t n, std::size_t k,
     ThreadPool* pool = nullptr, double eps = 1e-12);

@@ -170,20 +170,23 @@ std::vector<std::size_t> select_hypercubes(const field::Snapshot& snap,
   const std::vector<double> all_flat = comm.allgather(local_flat);
   SICKLE_CHECK(all_flat.size() == n * clusters.k);
 
-  // The O(n_cubes^2) KL reduction is row-decomposed too: each rank reduces
-  // its block of rows to node strengths (or entropies) with the identical
-  // blocked kernel the serial selector uses, so serial and SPMD weights
-  // are bit-equal. The strengths are allgathered and every rank performs
-  // the identical weighted draw.
+  // The KL reduction is row-decomposed too: each rank reduces its block of
+  // rows to node strengths (or entropies) with the identical algebraic
+  // O(k)-per-row kernel the serial selector uses (every rank derives the
+  // same column log-sums from the allgathered PMFs), so serial and SPMD
+  // weights are bit-equal. The strengths are allgathered and every rank
+  // performs the identical weighted draw.
   std::vector<double> local_weights;
   local_weights.reserve(end - begin);
   if (cfg.method == "maxent") {
     const auto logs = stats::log_pmf_rows(std::span<const double>(all_flat),
                                           n, clusters.k);
+    const auto col_sums =
+        stats::log_col_sums(std::span<const double>(logs), n, clusters.k);
     for (std::size_t i = begin; i < end; ++i) {
-      local_weights.push_back(stats::kl_row_strength(
+      local_weights.push_back(stats::kl_row_strength_fast(
           std::span<const double>(all_flat), std::span<const double>(logs),
-          n, clusters.k, i));
+          std::span<const double>(col_sums), n, clusters.k, i));
     }
   } else {
     for (std::size_t i = begin; i < end; ++i) {

@@ -177,4 +177,20 @@ obs::ObsOptions obs_options_from_config(const Config& cfg) {
   return oo;
 }
 
+InferenceOptions inference_from_config(const Config& cfg) {
+  InferenceOptions io;
+  io.prune_rms = cfg.get_double("inference", "prune_rms", 0.0);
+  io.probes =
+      static_cast<std::size_t>(cfg.get_int("inference", "probes", 32));
+  io.min_hidden =
+      static_cast<std::size_t>(cfg.get_int("inference", "min_hidden", 2));
+  io.engine_path = cfg.get_str("inference", "engine_path", "");
+  const bool any_key =
+      cfg.has("inference", "prune_rms") || cfg.has("inference", "probes") ||
+      cfg.has("inference", "min_hidden") ||
+      cfg.has("inference", "engine_path");
+  io.enabled = cfg.get_bool("inference", "enabled", any_key);
+  return io;
+}
+
 }  // namespace sickle

@@ -70,6 +70,29 @@ namespace sickle {
 /// collection. Absent section = disabled = zero overhead.
 [[nodiscard]] obs::ObsOptions obs_options_from_config(const Config& cfg);
 
+/// Knobs for the post-training surrogate inference stage (infer::Engine
+/// compilation + magnitude pruning) consumed by tools/sickle_train.
+struct InferenceOptions {
+  bool enabled = false;
+  /// Probe-RMS budget handed to infer::prune; 0 disables pruning (the
+  /// engine is still compiled and parity-checked).
+  double prune_rms = 0.0;
+  std::size_t probes = 32;      ///< held-out windows for the prune search
+  std::size_t min_hidden = 2;   ///< pruning floor (clamped to the ladder)
+  std::string engine_path;      ///< write the compiled engine here ("" = no)
+};
+
+/// Build the inference options from the `inference` section:
+///   inference:
+///     enabled: true          # optional master switch
+///     prune_rms: 0.05        # probe-RMS budget (0 = compile only)
+///     probes: 32
+///     min_hidden: 2
+///     engine_path: drag.engine
+/// `enabled` defaults to true exactly when any other inference key is
+/// set, mirroring the observability section; absent section = disabled.
+[[nodiscard]] InferenceOptions inference_from_config(const Config& cfg);
+
 /// Normalize the paper's architecture spellings ("MLP_transformer",
 /// "CNN_Transformer", "lstm", ...) onto the internal names; throws
 /// RuntimeError for unknown architectures.

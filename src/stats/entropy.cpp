@@ -94,6 +94,36 @@ double kl_row_strength(std::span<const double> pmfs,
   return row;
 }
 
+std::vector<double> log_col_sums(std::span<const double> logs, std::size_t n,
+                                 std::size_t k) {
+  SICKLE_CHECK_MSG(logs.size() == n * k, "logs must be n x k row-major");
+  std::vector<double> sums(k, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* lj = logs.data() + j * k;
+    for (std::size_t b = 0; b < k; ++b) sums[b] += lj[b];
+  }
+  return sums;
+}
+
+double kl_row_strength_fast(std::span<const double> pmfs,
+                            std::span<const double> logs,
+                            std::span<const double> col_sums, std::size_t n,
+                            std::size_t k, std::size_t i) {
+  SICKLE_CHECK_MSG(pmfs.size() == n * k && logs.size() == n * k &&
+                       col_sums.size() == k && i < n,
+                   "kl_row_strength_fast: inconsistent inputs");
+  const double* pi = pmfs.data() + i * k;
+  const double* li = logs.data() + i * k;
+  const double nn = static_cast<double>(n);
+  double row = 0.0;
+  for (std::size_t b = 0; b < k; ++b) {
+    // p_i = 0 bins contribute nothing in the row kernel; keep that exact
+    // (li[b] is the floored eps log there and must never be scaled by n).
+    if (pi[b] > 0.0) row += pi[b] * (nn * li[b] - col_sums[b]);
+  }
+  return row;
+}
+
 std::vector<double> normalize_weights(std::span<const double> weights) {
   double total = 0.0;
   for (const double w : weights) {

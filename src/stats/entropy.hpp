@@ -49,13 +49,37 @@ namespace sickle::stats {
                                                double eps = 1e-12);
 
 /// Node strength of one row: sum over j != i of KL(pmfs[i] || pmfs[j]),
-/// computed blockwise from the logs produced by log_pmf_rows. This is the
-/// single per-row kernel shared by the serial, thread-parallel, and SPMD
-/// selectors, so all of them produce bit-identical weights.
+/// computed blockwise from the logs produced by log_pmf_rows. O(n·k) per
+/// row — kept as the reference kernel for the equivalence test against
+/// the algebraic form below; production callers use kl_row_strength_fast.
 [[nodiscard]] double kl_row_strength(std::span<const double> pmfs,
                                      std::span<const double> logs,
                                      std::size_t n, std::size_t k,
                                      std::size_t i);
+
+/// Column log-sums S[b] = sum_i logs[i*k + b] over a flat row-major
+/// [n x k] log matrix — the one-time O(n·k) reduction behind the
+/// algebraic node-strength identity (see kl_row_strength_fast).
+[[nodiscard]] std::vector<double> log_col_sums(std::span<const double> logs,
+                                               std::size_t n, std::size_t k);
+
+/// Algebraic O(k) node strength of one row:
+///
+///   sum_j KL(p_i || p_j) = Σ_b p_i[b]·(n·log p_i[b] − S[b]),
+///   S[b] = Σ_j log p_j[b]
+///
+/// (the j = i term is exactly zero, so the unrestricted sum over j equals
+/// the j != i row strength). With `col_sums` from log_col_sums this turns
+/// the O(n²·k) all-rows reduction into O(n·k) total. Bins with p_i = 0
+/// contribute exactly zero, matching kl_row_strength; the result differs
+/// from the row kernel only by floating-point summation order. This is
+/// the single per-row kernel shared by the serial, thread-parallel, and
+/// SPMD selectors, so all of them produce bit-identical weights.
+[[nodiscard]] double kl_row_strength_fast(std::span<const double> pmfs,
+                                          std::span<const double> logs,
+                                          std::span<const double> col_sums,
+                                          std::size_t n, std::size_t k,
+                                          std::size_t i);
 
 /// Normalize a non-negative weight vector into a probability distribution.
 /// All-zero input maps to the uniform distribution (the sampler's fallback

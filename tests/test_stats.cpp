@@ -189,6 +189,54 @@ TEST(KlRowStrength, InconsistentInputsThrow) {
   EXPECT_THROW((void)log_pmf_rows(flat, 3, 2), CheckError);
 }
 
+TEST(KlRowStrengthFast, EquivalentToRowKernel) {
+  // Algebraic O(k)-per-row form vs the blocked O(n·k)-per-row reference,
+  // over PMFs with zero bins, spikes, and near-uniform rows. The two
+  // differ only by floating-point summation order.
+  const std::size_t n = 64, k = 16;
+  sickle::Rng rng(7);
+  std::vector<double> flat(n * k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (std::size_t b = 0; b < k; ++b) {
+      // ~1/3 of bins are exact zeros, like sparse label histograms.
+      const double u = rng.uniform();
+      const double v = (u < 1.0 / 3.0) ? 0.0 : u;
+      flat[i * k + b] = v;
+      total += v;
+    }
+    if (total == 0.0) {
+      flat[i * k] = 1.0;  // degenerate all-zero draw -> spike row
+      total = 1.0;
+    }
+    for (std::size_t b = 0; b < k; ++b) flat[i * k + b] /= total;
+  }
+  const auto logs = log_pmf_rows(flat, n, k);
+  const auto sums = log_col_sums(std::span<const double>(logs), n, k);
+  ASSERT_EQ(sums.size(), k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double blocked =
+        kl_row_strength(flat, std::span<const double>(logs), n, k, i);
+    const double algebraic = kl_row_strength_fast(
+        flat, std::span<const double>(logs), std::span<const double>(sums),
+        n, k, i);
+    EXPECT_NEAR(algebraic, blocked, 1e-9 * (1.0 + std::abs(blocked)))
+        << "row " << i;
+  }
+}
+
+TEST(KlRowStrengthFast, InconsistentInputsThrow) {
+  const std::vector<double> flat{0.5, 0.5, 0.1, 0.9};
+  const auto logs = log_pmf_rows(flat, 2, 2);
+  const auto sums = log_col_sums(std::span<const double>(logs), 2, 2);
+  EXPECT_THROW((void)log_col_sums(std::span<const double>(logs), 3, 2),
+               CheckError);
+  EXPECT_THROW((void)kl_row_strength_fast(flat, logs, sums, 3, 2, 0),
+               CheckError);
+  EXPECT_THROW((void)kl_row_strength_fast(flat, logs, sums, 2, 2, 2),
+               CheckError);
+}
+
 TEST(NormalizeWeights, SumsToOne) {
   const std::vector<double> w{1.0, 3.0};
   const auto p = normalize_weights(w);

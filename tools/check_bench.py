@@ -10,17 +10,27 @@ Exit status 1 when any record regresses beyond the tolerance factor,
 is "ns_per_op" when present (google-benchmark kernels), otherwise
 "sim_time_s" (the fig7 scalability model). Lower is better for both.
 
-The tolerance is deliberately generous (default 3.0x): shared CI runners
-have noisy neighbours and frequency scaling, so this gate catches
+The blanket tolerance is deliberately generous (default 3.0x): shared CI
+runners have noisy neighbours and frequency scaling, so this gate catches
 order-of-magnitude regressions and algorithmic accidents, not single-digit
-percent drift. Records present only on one side are reported but never
-fail the gate (benches grow and shrink across PRs; a *removed* baseline
-should be refreshed, not block unrelated work).
+percent drift. Baselines emitted with repeats (JsonReport::add_sample
+writes the median plus "<metric>_min"/"<metric>_max" and a "repeats"
+count when a bench was run >= 2 times) get a per-record tolerance derived
+from their own measured dispersion instead: 1.5x the baseline's
+max/median spread, floored at 2x (in-process repeats underestimate
+machine-to-machine variation) and capped at the blanket value. A kernel
+whose five baseline repeats agreed within 10% is then gated at 2x rather
+than 5x, while a noisy record keeps the generous gate its own dispersion
+says it needs. Records present only on one side are
+reported but never fail the gate (benches grow and shrink across PRs; a
+*removed* baseline should be refreshed, not block unrelated work).
 
 Refreshing baselines after an intentional perf change:
     ./build/bench_kernels            # emits BENCH_kernels.json
     ./build/bench_fig7_scalability   # emits BENCH_fig7_scalability.json
-    cp BENCH_kernels.json BENCH_fig7_scalability.json bench/baselines/
+    ./build/bench_inference          # emits BENCH_inference.json
+    cp BENCH_kernels.json BENCH_fig7_scalability.json \
+       BENCH_inference.json bench/baselines/
 and commit the result (docs/PERF.md describes the measurement setup).
 """
 
@@ -45,6 +55,18 @@ def metric_of(rec):
         if key in rec:
             return key, float(rec[key])
     return None, None
+
+
+def tolerance_of(base_rec, base_key, base_val, blanket):
+    """Per-record tolerance: dispersion-derived when the baseline carries
+    repeated measurements, the blanket factor otherwise."""
+    repeats = base_rec.get("repeats", 1)
+    hi = base_rec.get(f"{base_key}_max")
+    if repeats < 2 or hi is None or base_val <= 0:
+        return blanket, "blanket"
+    spread = float(hi) / base_val  # >= 1: max/median of the baseline runs
+    eff = max(2.0, 1.5 * spread)
+    return min(blanket, eff), f"dispersion(n={repeats})"
 
 
 def main():
@@ -75,13 +97,15 @@ def main():
             continue
         compared += 1
         ratio = cur_val / base_val
+        tol, tol_kind = tolerance_of(base_rec, base_key, base_val,
+                                     args.tolerance)
         status = "OK"
-        if ratio > args.tolerance:
+        if ratio > tol:
             status = "REGRESSION"
-            regressions.append((name, base_key, base_val, cur_val, ratio))
+            regressions.append((name, base_key, base_val, cur_val, ratio, tol))
         print(
             f"{status:>10}  {name}: {base_key} {base_val:.4g} -> "
-            f"{cur_val:.4g}  ({ratio:.2f}x)"
+            f"{cur_val:.4g}  ({ratio:.2f}x, gate {tol:.2f}x {tol_kind})"
         )
     for name in sorted(set(current) - set(baseline)):
         print(f"note: new record without a baseline: {name}")
@@ -90,18 +114,18 @@ def main():
         print("error: no comparable records between the two files")
         return 1
     if regressions:
-        print(
-            f"\n{len(regressions)} regression(s) beyond "
-            f"{args.tolerance:.2f}x tolerance:"
-        )
-        for name, key, base_val, cur_val, ratio in regressions:
-            print(f"  {name}: {key} {base_val:.4g} -> {cur_val:.4g} ({ratio:.2f}x)")
+        print(f"\n{len(regressions)} regression(s) beyond tolerance:")
+        for name, key, base_val, cur_val, ratio, tol in regressions:
+            print(
+                f"  {name}: {key} {base_val:.4g} -> {cur_val:.4g} "
+                f"({ratio:.2f}x, gate {tol:.2f}x)"
+            )
         print(
             "If this change is intentional, refresh bench/baselines/ "
             "(see the module docstring)."
         )
         return 1
-    print(f"\nall {compared} compared records within {args.tolerance:.2f}x")
+    print(f"\nall {compared} compared records within tolerance")
     return 0
 
 

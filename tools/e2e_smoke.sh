@@ -148,6 +148,62 @@ else
   echo "    (python3 not found; trace structural check skipped)"
 fi
 
+# Inference combo: the OF2D LSTM drag surrogate trained end-to-end, then
+# the post-training surrogate stage — compile to an infer::Engine,
+# parity-check, magnitude-prune under the configured RMS budget, and
+# persist. Asserts compile parity, that pruning actually removed hidden
+# channels while honoring its probe-RMS budget (prune() guarantees
+# final_rms <= budget; the 0.2 budget is sized so this tiny 3-epoch model
+# accepts a few channels rather than refusing outright), and that the
+# saved engine file exists.
+echo "=== inference combo: OF2D lstm -> compile -> prune -> predict"
+infer_cfg="$workdir/case_infer.yaml"
+prune_budget=0.2
+cat > "$infer_cfg" <<EOF
+shared:
+  dataset: OF2D
+  scale: 0.5
+  seed: 3
+
+subsample:
+  method: random
+  num_samples: 24
+
+train:
+  arch: lstm
+  epochs: 3
+  batch: 8
+  dim: 16
+  window: 3
+
+inference:
+  prune_rms: $prune_budget
+  probes: 16
+  engine_path: $workdir/drag.engine
+EOF
+infer_out=$("$BIN" "$infer_cfg")
+echo "$infer_out" | grep -E "inference engine|inference parity|inference pruned:|inference engine written"
+echo "$infer_out" | grep -q "Evaluation on test set"
+parity=$(echo "$infer_out" | sed -n 's/^inference parity rms: \([^ ]*\) .*/\1/p')
+hidden0=$(echo "$infer_out" | sed -n 's/^inference pruned: hidden \([0-9]*\) -> .*/\1/p')
+hidden1=$(echo "$infer_out" | sed -n 's/^inference pruned: hidden [0-9]* -> \([0-9]*\) |.*/\1/p')
+pruned_rms=$(echo "$infer_out" | sed -n 's/^inference pruned: .* rms \([^ ]*\) |.*/\1/p')
+if [[ -z "$parity" || -z "$hidden0" || -z "$hidden1" || -z "$pruned_rms" ]]; then
+  echo "error: inference stage lines missing from output" >&2
+  exit 1
+fi
+python3 - "$parity" "$hidden0" "$hidden1" "$pruned_rms" "$prune_budget" <<'EOF'
+import sys
+parity, hidden0, hidden1, pruned_rms, budget = (float(v) for v in sys.argv[1:6])
+assert parity <= 1e-6, f"engine parity {parity} above 1e-6 RMS"
+assert hidden1 < hidden0, f"pruning removed no channels ({hidden0:g} -> {hidden1:g})"
+assert pruned_rms <= budget, \
+    f"pruned engine rms {pruned_rms} above the {budget} budget"
+print(f"    parity rms {parity:g}; pruned hidden {hidden0:g} -> {hidden1:g}, "
+      f"rms {pruned_rms:g} <= budget {budget:g}")
+EOF
+[[ -s "$workdir/drag.engine" ]] || { echo "error: engine file missing" >&2; exit 1; }
+
 echo
 echo "OK: all $runs backend x ingest x codec combinations bit-identical"
 echo "    sample set hash: $ref_hash"
