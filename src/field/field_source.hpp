@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -101,6 +102,18 @@ struct VarRange {
   double max = 0.0;
 };
 
+/// Bin count of the canonical per-snapshot coarse histogram summary
+/// (SeriesSource::coarse_histogram, SKL3 v4 index blocks). The contract
+/// that makes index-resident and scanned counts interchangeable: counts
+/// are accumulated by stats::Histogram over exactly
+/// kCoarseHistogramBins equal-width bins spanning the snapshot's own
+/// exact [min, max] (NaN-skipping, widened by +/-0.5 when degenerate,
+/// all-zero when the range is non-finite). Integer counts are
+/// batching-order-independent, so a writer-side whole-span pass and a
+/// reader-side streamed scan produce bit-identical summaries for
+/// lossless codecs.
+inline constexpr std::size_t kCoarseHistogramBins = 64;
+
 /// Read-only access to a time-ordered sequence of snapshots on a shared
 /// grid — the temporal twin of FieldSource. Implementations: an in-memory
 /// Dataset (DatasetSeriesSource, zero-copy), an SKL3 series container
@@ -133,6 +146,21 @@ class SeriesSource {
   /// summary-driven and scan-driven statistics stay bit-identical.
   [[nodiscard]] virtual std::optional<VarRange> value_range(
       std::size_t t, const std::string& var) const {
+    (void)t;
+    (void)var;
+    return std::nullopt;
+  }
+
+  /// Precomputed coarse histogram of `var` on snapshot `t` — counts of
+  /// the canonical kCoarseHistogramBins-bin histogram over the snapshot's
+  /// own exact range (see kCoarseHistogramBins for the exact contract) —
+  /// when the source carries one (SKL3 v4 index summary blocks). nullopt
+  /// means the caller must scan. Together with value_range this lets
+  /// temporal selection seed its novelty ranking with ZERO payload
+  /// decodes on a sealed v4 series; only the selected candidates are
+  /// refined with an exact streamed pass.
+  [[nodiscard]] virtual std::optional<std::vector<std::uint64_t>>
+  coarse_histogram(std::size_t t, const std::string& var) const {
     (void)t;
     (void)var;
     return std::nullopt;

@@ -29,6 +29,14 @@ struct TemporalConfig {
   std::string variable;        ///< variable whose PDF drives novelty
   std::size_t num_snapshots = 10;  ///< snapshots to keep
   std::size_t bins = 100;
+  /// Seed-and-refine candidate slack: the coarse seeding stage keeps
+  /// min(n, max(k, refine_factor * k)) candidates for the exact
+  /// refinement pass (k = num_snapshots). When the candidate set covers
+  /// the whole series (refine_factor * k >= n) selection is exactly the
+  /// legacy single-stage greedy; smaller candidate sets trade a slightly
+  /// different (still deterministic, backend-independent) selection for
+  /// proportionally less payload I/O.
+  std::size_t refine_factor = 2;
 };
 
 /// Shared-range per-snapshot PMFs of cfg.variable: all snapshots binned
@@ -49,6 +57,20 @@ struct TemporalConfig {
 /// Greedy selection: start from the first snapshot, repeatedly add the
 /// snapshot whose PDF is farthest (min-JS over selected) from the current
 /// set. Returns selected snapshot indices in selection order.
+///
+/// Runs as seed-then-refine (the exactness-vs-refinement contract):
+/// (1) coarse per-snapshot histograms — read from the index when the
+/// source carries them (SeriesSource::coarse_histogram + value_range,
+/// SKL3 v4: ZERO payload decodes), else streamed — are rebinned onto the
+/// shared range and an approximate greedy keeps min(n, max(k,
+/// refine_factor * k)) candidates; (2) one exact streamed PMF pass over
+/// the candidates only, then the exact greedy restricted to them picks
+/// the final k. Every stage is deterministic and uses the same canonical
+/// coarse kernel whether summaries come from the index or a scan, so all
+/// backends (in-memory, SKL3 v1-v4, SKL2 spill) return identical indices
+/// for equal data under lossless codecs. When the candidate set covers
+/// the series the result is bit-identical to the legacy single-stage
+/// exact greedy.
 [[nodiscard]] std::vector<std::size_t> select_snapshots(
     const field::SeriesSource& series, const TemporalConfig& cfg);
 

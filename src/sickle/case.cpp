@@ -37,6 +37,54 @@ struct VarScaler {
   }
 };
 
+/// Streaming z-score moment accumulator: feed snapshots one at a time
+/// (variables inner, snapshots outer — the exact accumulation order of a
+/// whole-series fit_scalers pass, so scalers computed incrementally
+/// during ingest are bit-identical to a dedicated post-hoc pass). The
+/// fused streaming-skl2 path folds each spilled snapshot in as it is
+/// sampled, eliminating the scaler pass over the store entirely.
+class ScalerAccumulator {
+ public:
+  explicit ScalerAccumulator(std::vector<std::string> vars)
+      : vars_(std::move(vars)), accs_(vars_.size()) {}
+
+  void accumulate(const field::FieldSource& src) {
+    for (std::size_t v = 0; v < vars_.size(); ++v) {
+      field::for_each_flat_batch(src, vars_[v],
+                                 [&](std::span<const double> vals) {
+                                   for (const double x : vals) {
+                                     accs_[v].sum += x;
+                                     accs_[v].sq += x * x;
+                                     ++accs_[v].n;
+                                   }
+                                 });
+    }
+  }
+
+  [[nodiscard]] std::map<std::string, VarScaler> take() const {
+    std::map<std::string, VarScaler> out;
+    for (std::size_t v = 0; v < vars_.size(); ++v) {
+      SICKLE_CHECK_MSG(accs_[v].n > 0, "scaler saw no values: " + vars_[v]);
+      VarScaler s;
+      s.mean = accs_[v].sum / static_cast<double>(accs_[v].n);
+      const double var_x = std::max(
+          accs_[v].sq / static_cast<double>(accs_[v].n) - s.mean * s.mean,
+          1e-24);
+      s.inv_std = 1.0 / std::sqrt(var_x);
+      out[vars_[v]] = s;
+    }
+    return out;
+  }
+
+ private:
+  struct Acc {
+    double sum = 0.0, sq = 0.0;
+    std::size_t n = 0;
+  };
+  std::vector<std::string> vars_;
+  std::vector<Acc> accs_;
+};
+
 /// Fit z-score scalers by streaming the series snapshot-major (one pass
 /// over the store, all variables accumulated per visit — out-of-core
 /// sources pay one reader/cache walk per snapshot, not one per variable).
@@ -46,162 +94,191 @@ struct VarScaler {
 /// the memory/skl2/series backends for lossless codecs.
 std::map<std::string, VarScaler> fit_scalers(
     const field::SeriesSource& series, std::span<const std::string> vars) {
-  struct Acc {
-    double sum = 0.0, sq = 0.0;
-    std::size_t n = 0;
-  };
-  std::vector<Acc> accs(vars.size());
+  ScalerAccumulator acc(std::vector<std::string>(vars.begin(), vars.end()));
   for (std::size_t t = 0; t < series.num_snapshots(); ++t) {
-    const field::FieldSource& src = series.source(t);
-    for (std::size_t v = 0; v < vars.size(); ++v) {
-      field::for_each_flat_batch(src, vars[v],
-                                 [&](std::span<const double> vals) {
-                                   for (const double x : vals) {
-                                     accs[v].sum += x;
-                                     accs[v].sq += x * x;
-                                     ++accs[v].n;
-                                   }
-                                 });
-    }
+    acc.accumulate(series.source(t));
   }
-  std::map<std::string, VarScaler> out;
-  for (std::size_t v = 0; v < vars.size(); ++v) {
-    VarScaler s;
-    s.mean = accs[v].sum / static_cast<double>(accs[v].n);
-    const double var_x = std::max(
-        accs[v].sq / static_cast<double>(accs[v].n) - s.mean * s.mean,
-        1e-24);
-    s.inv_std = 1.0 / std::sqrt(var_x);
-    out[vars[v]] = s;
-  }
-  return out;
+  return acc.take();
 }
 
-/// Dense standardized values of `vars` inside a cube, as a
+/// Raw (unstandardized) dense values of `vars` inside a cube, as a
 /// [C, E, E, E]-ordered flat vector (channel-major over the cube's
 /// z-fastest point order). Works over any FieldSource, so the builder
 /// pulls targets from RAM or from a spilled store alike.
-std::vector<float> dense_cube(const field::FieldSource& src,
-                              const field::CubeTiling& tiling,
-                              std::size_t cube_id,
-                              std::span<const std::string> vars,
-                              const std::map<std::string, VarScaler>& sc) {
+std::vector<double> raw_dense_cube(const field::FieldSource& src,
+                                   const field::CubeTiling& tiling,
+                                   std::size_t cube_id,
+                                   std::span<const std::string> vars) {
   const auto cube =
       field::extract_cube(src, tiling, tiling.coord(cube_id), vars);
-  std::vector<float> out;
+  std::vector<double> out;
   out.reserve(vars.size() * cube.points());
   for (std::size_t v = 0; v < vars.size(); ++v) {
-    const VarScaler& s = sc.at(vars[v]);
     for (std::size_t p = 0; p < cube.points(); ++p) {
-      out.push_back(s.apply(cube.values[v][p]));
+      out.push_back(cube.values[v][p]);
     }
   }
   return out;
 }
 
-/// Sampled, standardized input features of a cube as a fixed-length
-/// [C * N] row (variable-major). Pads by cycling when fewer than N samples
-/// exist.
-std::vector<float> sampled_row(const sampling::CubeSamples& cs,
-                               std::span<const std::string> input_vars,
-                               std::size_t n_points,
-                               const std::map<std::string, VarScaler>& sc) {
-  std::vector<float> row;
+/// Raw sampled input features of a cube as a fixed-length [C * N] row
+/// (variable-major). Pads by cycling when fewer than N samples exist.
+std::vector<double> raw_sampled_row(const sampling::CubeSamples& cs,
+                                    std::span<const std::string> input_vars,
+                                    std::size_t n_points) {
+  std::vector<double> row;
   row.reserve(input_vars.size() * n_points);
   const std::size_t have = cs.samples.points();
   SICKLE_CHECK_MSG(have > 0, "cube produced no samples");
   for (const auto& var : input_vars) {
     const auto col = cs.samples.column(var);
-    const VarScaler& s = sc.at(var);
     for (std::size_t i = 0; i < n_points; ++i) {
-      row.push_back(s.apply(col[i % have]));
+      row.push_back(col[i % have]);
     }
   }
   return row;
 }
 
-/// Streaming training-set builder: accepted cubes are converted to
-/// supervised examples the moment they are sampled, pulling dense targets
-/// from the snapshot source that produced them (its blocks are still warm
-/// in the store's LRU cache) — no second pass over the raw data and no
-/// accumulation of the full PipelineResult.
+/// Standardize a variable-major raw block (per-var stride =
+/// raw.size() / vars.size()) with each variable's scaler — the exact
+/// per-variable, point-ascending float arithmetic the builder always
+/// used, so deferring standardization to take() changes no bit.
+std::vector<float> standardize(std::span<const double> raw,
+                               std::span<const std::string> vars,
+                               const std::map<std::string, VarScaler>& sc) {
+  const std::size_t per = raw.size() / vars.size();
+  std::vector<float> out;
+  out.reserve(raw.size());
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    const VarScaler& s = sc.at(vars[v]);
+    for (std::size_t p = 0; p < per; ++p) {
+      out.push_back(s.apply(raw[v * per + p]));
+    }
+  }
+  return out;
+}
+
+/// Streaming training-set builder: accepted cubes are captured as RAW
+/// examples the moment they are sampled, pulling dense values from the
+/// snapshot source that produced them (its blocks are still warm in the
+/// store's LRU cache) — no second pass over the raw data and no
+/// accumulation of the full PipelineResult. Standardization is deferred
+/// to take(): scalers need only exist by then, so the fused streaming
+/// path can accumulate their moments DURING ingest instead of paying a
+/// dedicated pass over the spilled store up front. Both modes run the
+/// identical per-variable float arithmetic in the identical order, so
+/// tensors are bit-identical either way.
 class TrainingSetBuilder {
  public:
-  TrainingSetBuilder(const field::SeriesSource& series, const CaseConfig& cfg)
-      : cfg_(cfg),
-        tiling_(series.source(0).shape(), cfg.pipeline.cube),
+  /// Deferred-scaler mode: no pass over any series; pair with
+  /// take(scalers) once the moments are in.
+  TrainingSetBuilder(const CaseConfig& cfg, const field::GridShape& grid)
+      : cfg_(cfg), tiling_(grid, cfg.pipeline.cube),
         edge_(cfg.pipeline.cube.ex) {
     const auto& pl = cfg.pipeline;
     SICKLE_CHECK_MSG(pl.cube.ex == pl.cube.ey && pl.cube.ex == pl.cube.ez,
                      "training cubes must be isotropic (E^3)");
     SICKLE_CHECK_MSG(!pl.output_vars.empty(), "training needs output_vars");
-    // Global z-score scalers over every variable involved.
+    SICKLE_CHECK_MSG(cfg.arch == "MLP_Transformer" ||
+                         cfg.arch == "CNN_Transformer" ||
+                         cfg.arch == "Foundation",
+                     "build_training_set: unsupported arch " + cfg.arch);
+  }
+
+  /// Immediate-scaler mode: fit global z-score scalers with a dedicated
+  /// pass over `series` now; take() uses them.
+  TrainingSetBuilder(const field::SeriesSource& series, const CaseConfig& cfg)
+      : TrainingSetBuilder(cfg, series.source(0).shape()) {
+    const auto& pl = cfg.pipeline;
     std::vector<std::string> all_vars = pl.input_vars;
     all_vars.insert(all_vars.end(), pl.output_vars.begin(),
                     pl.output_vars.end());
-    scalers_ =
-        fit_scalers(series, std::span<const std::string>(all_vars));
+    scalers_ = fit_scalers(series, std::span<const std::string>(all_vars));
+    have_scalers_ = true;
   }
 
-  /// Convert one sampled cube into a training example. `src` must be the
-  /// snapshot the cube was sampled from.
+  /// Capture one sampled cube's raw values. `src` must be the snapshot
+  /// the cube was sampled from.
   void push(const field::FieldSource& src, const sampling::CubeSamples& cs) {
     const auto& pl = cfg_.pipeline;
-    const std::size_t c_out = pl.output_vars.size();
-    // Target: dense standardized output cube.
-    auto tgt = dense_cube(src, tiling_, cs.cube_id,
-                          std::span<const std::string>(pl.output_vars),
-                          scalers_);
-    ml::Tensor target({c_out, edge_, edge_, edge_}, std::move(tgt));
-
+    RawExample ex;
+    ex.target = raw_dense_cube(src, tiling_, cs.cube_id,
+                               std::span<const std::string>(pl.output_vars));
     if (cfg_.arch == "MLP_Transformer") {
-      const std::size_t n = pl.num_samples;
-      const std::size_t f = pl.input_vars.size() * n;
-      std::vector<float> in;
-      in.reserve(cfg_.window * f);
-      // Window: this cube's samples from the `window` most recent
-      // snapshots (repeating the earliest when history is short).
-      for (std::size_t w = 0; w < cfg_.window; ++w) {
-        // For window 1 this is just cs itself.
-        const auto row = sampled_row(cs, pl.input_vars, n, scalers_);
-        in.insert(in.end(), row.begin(), row.end());
-      }
-      out_.push(ml::Tensor({cfg_.window, f}, std::move(in)),
-                std::move(target));
-    } else if (cfg_.arch == "CNN_Transformer") {
-      auto in = dense_cube(src, tiling_, cs.cube_id,
-                           std::span<const std::string>(pl.input_vars),
-                           scalers_);
-      std::vector<float> seq;
-      seq.reserve(cfg_.window * in.size());
-      for (std::size_t w = 0; w < cfg_.window; ++w) {
-        seq.insert(seq.end(), in.begin(), in.end());
-      }
-      out_.push(ml::Tensor({cfg_.window, pl.input_vars.size(), edge_, edge_,
-                            edge_},
-                           std::move(seq)),
-                std::move(target));
-    } else if (cfg_.arch == "Foundation") {
-      auto in = dense_cube(src, tiling_, cs.cube_id,
-                           std::span<const std::string>(pl.input_vars),
-                           scalers_);
-      out_.push(ml::Tensor({pl.input_vars.size(), edge_, edge_, edge_},
-                           std::move(in)),
-                std::move(target));
-    } else {
-      throw RuntimeError("build_training_set: unsupported arch " +
-                         cfg_.arch);
+      ex.input = raw_sampled_row(
+          cs, std::span<const std::string>(pl.input_vars), pl.num_samples);
+    } else {  // CNN_Transformer / Foundation: dense input cube
+      ex.input = raw_dense_cube(src, tiling_, cs.cube_id,
+                                std::span<const std::string>(pl.input_vars));
     }
+    raw_.push_back(std::move(ex));
   }
 
-  [[nodiscard]] ml::TensorDataset take() { return std::move(out_); }
+  /// Standardize with the immediate-mode scalers fit at construction.
+  [[nodiscard]] ml::TensorDataset take() {
+    SICKLE_CHECK_MSG(have_scalers_,
+                     "deferred TrainingSetBuilder needs take(scalers)");
+    return take(scalers_);
+  }
+
+  /// Standardize every captured example with `sc` and build the tensors.
+  [[nodiscard]] ml::TensorDataset take(
+      const std::map<std::string, VarScaler>& sc) {
+    const auto& pl = cfg_.pipeline;
+    const std::size_t c_out = pl.output_vars.size();
+    ml::TensorDataset out;
+    for (RawExample& ex : raw_) {
+      auto tgt = standardize(std::span<const double>(ex.target),
+                             std::span<const std::string>(pl.output_vars),
+                             sc);
+      ml::Tensor target({c_out, edge_, edge_, edge_}, std::move(tgt));
+      auto in1 = standardize(std::span<const double>(ex.input),
+                             std::span<const std::string>(pl.input_vars),
+                             sc);
+      if (cfg_.arch == "MLP_Transformer") {
+        const std::size_t f = pl.input_vars.size() * pl.num_samples;
+        std::vector<float> in;
+        in.reserve(cfg_.window * f);
+        // Window: this cube's samples from the `window` most recent
+        // snapshots (repeating the earliest when history is short).
+        for (std::size_t w = 0; w < cfg_.window; ++w) {
+          in.insert(in.end(), in1.begin(), in1.end());
+        }
+        out.push(ml::Tensor({cfg_.window, f}, std::move(in)),
+                 std::move(target));
+      } else if (cfg_.arch == "CNN_Transformer") {
+        std::vector<float> seq;
+        seq.reserve(cfg_.window * in1.size());
+        for (std::size_t w = 0; w < cfg_.window; ++w) {
+          seq.insert(seq.end(), in1.begin(), in1.end());
+        }
+        out.push(ml::Tensor({cfg_.window, pl.input_vars.size(), edge_,
+                             edge_, edge_},
+                            std::move(seq)),
+                 std::move(target));
+      } else {  // Foundation (arch validated at construction)
+        out.push(ml::Tensor({pl.input_vars.size(), edge_, edge_, edge_},
+                            std::move(in1)),
+                 std::move(target));
+      }
+      ex = RawExample{};  // release raw doubles as tensors replace them
+    }
+    raw_.clear();
+    return out;
+  }
 
  private:
+  struct RawExample {
+    std::vector<double> input;   ///< sampled row (MLP) or dense cube
+    std::vector<double> target;  ///< dense output cube
+  };
+
   const CaseConfig& cfg_;
   field::CubeTiling tiling_;
   std::size_t edge_;
   std::map<std::string, VarScaler> scalers_;
-  ml::TensorDataset out_;
+  bool have_scalers_ = false;
+  std::vector<RawExample> raw_;
 };
 
 /// Reader-side I/O tallies of a spill backend, folded across every
@@ -247,12 +324,13 @@ void record_spill_metrics(CaseReport& report, const SpillIoStats& io) {
 class Skl2SpillSeries final : public field::SeriesSource {
  public:
   Skl2SpillSeries(const field::Dataset& data, const fs::path& dir,
-                  const store::StoreOptions& opts,
-                  std::size_t* store_bytes)
+                  const store::StoreOptions& opts, std::size_t* store_bytes,
+                  std::size_t* peak_disk_bytes = nullptr)
       : data_(data),
         dir_(dir),
         opts_(opts),
         store_bytes_(store_bytes),
+        peak_disk_bytes_(peak_disk_bytes),
         counted_(data.num_snapshots(), false) {}
 
   [[nodiscard]] std::size_t num_snapshots() const override {
@@ -276,6 +354,10 @@ class Skl2SpillSeries final : public field::SeriesSource {
       if (store_bytes_ != nullptr && !counted_[t]) {
         *store_bytes_ += written.file_bytes;
         counted_[t] = true;
+      }
+      // The previous spill was deleted above, so exactly one file is live.
+      if (peak_disk_bytes_ != nullptr) {
+        *peak_disk_bytes_ = std::max(*peak_disk_bytes_, written.file_bytes);
       }
       reader_ =
           std::make_unique<store::ChunkReader>(path(t), opts_.cache_bytes);
@@ -302,6 +384,7 @@ class Skl2SpillSeries final : public field::SeriesSource {
   fs::path dir_;
   store::StoreOptions opts_;
   std::size_t* store_bytes_;
+  std::size_t* peak_disk_bytes_;
   mutable std::vector<bool> counted_;
   mutable std::unique_ptr<store::ChunkReader> reader_;
   mutable std::size_t current_ = kNone;
@@ -554,8 +637,116 @@ void finalize_case_metrics(CaseReport& report) {
       static_cast<double>(report.store_bytes);
   report.metrics["case.ingest_peak_bytes"] =
       static_cast<double>(report.ingest_peak_bytes);
+  report.metrics["case.ingest_peak_disk_bytes"] =
+      static_cast<double>(report.ingest_peak_disk_bytes);
   report.metrics["case.selected_snapshots"] =
       static_cast<double>(report.selected_snapshots.size());
+}
+
+/// Fused rolling-window streaming-skl2 case: with the temporal stage off
+/// every snapshot is selected, so ingest, scaler-moment accumulation, and
+/// sampling collapse into ONE producer pass — each spill file is written,
+/// sampled straight into the (deferred) training-set builder, folded into
+/// the z-score moments, and deleted before the next snapshot is produced.
+/// Live disk stays O(one compressed snapshot) for any series length
+/// (CaseReport::ingest_peak_disk_bytes), while sample_hash and the
+/// training tensors stay bit-identical to the non-fused path: the same
+/// per-snapshot pipeline over the same SKL2 blocks, the same
+/// snapshot-major accumulation order, and the same standardization
+/// arithmetic — only WHEN each piece of work happens moves.
+CaseReport run_case_fused_skl2(ProducerBundle& bundle,
+                               const CaseConfig& cfg) {
+  CaseReport report;
+  obs::Span case_span("case.run", "case");
+  energy::EnergyCounter sampling_energy;
+  ml::TensorDataset data;
+  {
+    SpillGuard guard;
+    guard.dir = make_spill_dir(cfg.spill_dir);
+    guard.armed = true;
+    const auto& pl = cfg.pipeline;
+    std::vector<std::string> all_vars = pl.input_vars;
+    all_vars.insert(all_vars.end(), pl.output_vars.begin(),
+                    pl.output_vars.end());
+    ScalerAccumulator scalers(all_vars);
+    std::unique_ptr<TrainingSetBuilder> builder;
+    Fnv64 hash;
+    const PoolHandle pool = resolve_threads(pl.threads);
+    SpillIoStats io;
+    std::size_t max_snap_bytes = 0;
+    std::size_t max_wave_bytes = 0;
+    double ingest_seconds = 0.0;
+    Timer stage_timer;
+    std::size_t t = 0;
+    {
+      obs::Span ingest_span("case.ingest", "case");
+      while (auto snap = bundle.producer->next()) {
+        max_snap_bytes = std::max(max_snap_bytes, snap->bytes());
+        const std::string path =
+            (guard.dir / ("snap_" + std::to_string(t) + ".skl2")).string();
+        std::unique_ptr<store::ChunkReader> reader;
+        {
+          ScopedTimer ingest_timer(ingest_seconds);
+          const auto wr = store::write_store(*snap, path, cfg.store);
+          report.store_bytes += wr.file_bytes;
+          max_wave_bytes = std::max(max_wave_bytes, wr.peak_buffered_bytes);
+          // Exactly one spill file is alive at this point.
+          report.ingest_peak_disk_bytes =
+              std::max(report.ingest_peak_disk_bytes, wr.file_bytes);
+          reader = std::make_unique<store::ChunkReader>(
+              path, cfg.store.cache_bytes);
+        }
+        snap.reset();  // values live in the spill now; free the snapshot
+        if (builder == nullptr) {
+          builder = std::make_unique<TrainingSetBuilder>(cfg,
+                                                         reader->shape());
+        }
+        scalers.accumulate(*reader);
+        auto r = sampling::run_pipeline_streaming(*reader, pl, t, pool.get());
+        report.sampled_points += r.total_points();
+        report.sampling_seconds += r.sampling_seconds;
+        sampling_energy.merge(r.energy);
+        for (const auto& cs : r.cubes) {
+          hash.pod<std::uint64_t>(cs.snapshot);
+          hash.pod<std::uint64_t>(cs.cube_id);
+          hash.pod<std::uint64_t>(cs.samples.points());
+          for (const std::size_t idx : cs.samples.indices) {
+            hash.pod<std::uint64_t>(idx);
+          }
+          for (const double x : cs.samples.features) hash.pod<double>(x);
+          builder->push(*reader, cs);
+        }
+        io.fold(*reader);
+        reader.reset();  // close before deleting the spill
+        std::error_code ec;
+        fs::remove(path, ec);
+        ++t;
+      }
+      SICKLE_CHECK_MSG(t > 0, "producer yielded no snapshots");
+    }
+    report.ingest_peak_bytes = max_snap_bytes + max_wave_bytes;
+    report.sampling_seconds += ingest_seconds;
+    report.sample_hash = hash.h;
+    report.metrics["case.ingest_seconds"] = ingest_seconds;
+    // Stage spans stay four-per-case even when fused: selection is an
+    // empty span (identity selection), sampling covers the deferred
+    // tensor build.
+    { obs::Span selection_span("case.selection", "case"); }
+    report.metrics["case.selection_seconds"] = 0.0;
+    {
+      obs::Span sampling_span("case.sampling", "case");
+      data = builder->take(scalers.take());
+    }
+    report.metrics["case.sampling_seconds"] =
+        std::max(stage_timer.seconds() - ingest_seconds, 0.0);
+    record_spill_metrics(report, io);
+    guard.remove_now();
+  }
+  report.sampling_kilojoules = sampling_energy.projected_kilojoules();
+
+  training_stage(data, cfg, report);
+  finalize_case_metrics(report);
+  return report;
 }
 
 void check_backend_and_ingest(const CaseConfig& cfg) {
@@ -609,7 +800,8 @@ CaseReport run_case(const DatasetBundle& bundle, CaseConfig cfg) {
         guard.armed = true;
         if (cfg.backend == "skl2") {
           spilled = std::make_unique<Skl2SpillSeries>(
-              bundle.data, guard.dir, cfg.store, &report.store_bytes);
+              bundle.data, guard.dir, cfg.store, &report.store_bytes,
+              &report.ingest_peak_disk_bytes);
         } else {
           const std::string path = (guard.dir / "series.skl3").string();
           store::SeriesWriter writer(path, cfg.store);
@@ -617,8 +809,11 @@ CaseReport run_case(const DatasetBundle& bundle, CaseConfig cfg) {
             writer.append(bundle.data.snapshot(t));
           }
           report.store_bytes = writer.close().file_bytes;
+          report.ingest_peak_disk_bytes = report.store_bytes;
           spilled = std::make_unique<store::SeriesReader>(
-              path, cfg.store.cache_bytes);
+              path, store::ReaderOptions{cfg.store.cache_bytes, 0,
+                                         cfg.store.prefetch_depth,
+                                         cfg.store.pool});
         }
         series = spilled.get();
       }
@@ -670,6 +865,14 @@ CaseReport run_case(ProducerBundle& bundle, CaseConfig cfg) {
     return run_case(materialize_bundle(bundle), cfg);
   }
 
+  // Rolling-window fast path: streaming skl2 with the temporal stage off
+  // never revisits a snapshot, so spill files are deleted as they are
+  // consumed — O(one snapshot) of disk instead of the whole series, with
+  // bit-identical samples and tensors (see run_case_fused_skl2).
+  if (cfg.backend == "skl2" && !cfg.temporal.enabled()) {
+    return run_case_fused_skl2(bundle, cfg);
+  }
+
   CaseReport report;
   obs::Span case_span("case.run", "case");
   energy::EnergyCounter sampling_energy;
@@ -703,8 +906,11 @@ CaseReport run_case(ProducerBundle& bundle, CaseConfig cfg) {
         const auto wr = writer.close();
         report.store_bytes = wr.file_bytes;
         report.ingest_peak_bytes = max_snap_bytes + wr.peak_buffered_bytes;
+        report.ingest_peak_disk_bytes = report.store_bytes;
         spilled = std::make_unique<store::SeriesReader>(
-            path, cfg.store.cache_bytes);
+            path, store::ReaderOptions{cfg.store.cache_bytes, 0,
+                                       cfg.store.prefetch_depth,
+                                       cfg.store.pool});
       } else {  // skl2: one file per snapshot, written as produced
         std::vector<std::string> paths;
         paths.reserve(bundle.producer->num_snapshots());
@@ -721,6 +927,9 @@ CaseReport run_case(ProducerBundle& bundle, CaseConfig cfg) {
         }
         SICKLE_CHECK_MSG(!paths.empty(), "producer yielded no snapshots");
         report.ingest_peak_bytes = max_snap_bytes + max_wave_bytes;
+        // Non-fused (temporal selection revisits snapshots): every spill
+        // file stays until sampling completes.
+        report.ingest_peak_disk_bytes = report.store_bytes;
         spilled = std::make_unique<Skl2FilesSeries>(std::move(paths),
                                                    cfg.store.cache_bytes);
       }

@@ -85,6 +85,7 @@ store::StoreOptions store_options_from_config(const Config& cfg) {
   const long cz = cfg.get_int("store", "chunk_z", edge);
   const long cache_mb = cfg.get_int("store", "cache_mb", 64);
   const long budget_mb = cfg.get_int("store", "write_budget_mb", 8);
+  const long prefetch = cfg.get_int("store", "prefetch_depth", 0);
   // Fail at config time, not at the first mid-run snapshot spill.
   if (cx <= 0 || cy <= 0 || cz <= 0) {
     throw RuntimeError("store chunk edges must be positive");
@@ -95,6 +96,9 @@ store::StoreOptions store_options_from_config(const Config& cfg) {
   if (budget_mb <= 0) {
     throw RuntimeError("store write_budget_mb must be positive");
   }
+  if (prefetch < 0) {
+    throw RuntimeError("store prefetch_depth must be >= 0");
+  }
   opts.chunk.nx = static_cast<std::size_t>(cx);
   opts.chunk.ny = static_cast<std::size_t>(cy);
   opts.chunk.nz = static_cast<std::size_t>(cz);
@@ -102,6 +106,7 @@ store::StoreOptions store_options_from_config(const Config& cfg) {
   opts.tolerance = cfg.get_double("store", "tolerance", 1e-6);
   opts.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
   opts.write_budget_bytes = static_cast<std::size_t>(budget_mb) << 20;
+  opts.prefetch_depth = static_cast<std::size_t>(prefetch);
   (void)store::make_codec(opts.codec, opts.tolerance);  // validates the name
   return opts;
 }

@@ -53,6 +53,29 @@ BlockCache::~BlockCache() {
   reg.counter("store.cache.hits").add(total.hits);
   reg.counter("store.cache.misses").add(total.misses);
   reg.counter("store.cache.evictions").add(total.evictions);
+  if (total.prefetch_issued > 0) {
+    reg.counter("store.prefetch.issued").add(total.prefetch_issued);
+    reg.counter("store.prefetch.hits").add(total.prefetch_hits);
+    reg.counter("store.prefetch.wasted").add(total.prefetch_wasted);
+  }
+}
+
+void BlockCache::evict_to_budget(Shard& shard) const {
+  // Evict strictly down to the shard budget — all the way to empty if a
+  // single block exceeds it (callers hold the values shared_ptr, so
+  // nothing dangles). Retaining a minimum entry instead would let
+  // shard_count oversized blocks pin shard_count * chunk_bytes, breaking
+  // the O(cache_bytes) memory contract for explicit shard counts.
+  while (shard.stats.resident_bytes > shard_capacity_ &&
+         !shard.map.empty()) {
+    const std::uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    const auto vit = shard.map.find(victim);
+    shard.stats.resident_bytes -= vit->second.values->size() * sizeof(double);
+    if (vit->second.prefetched) ++shard.stats.prefetch_wasted;
+    shard.map.erase(vit);
+    ++shard.stats.evictions;
+  }
 }
 
 BlockCache::Block BlockCache::insert(Shard& shard, std::uint64_t key,
@@ -63,23 +86,30 @@ BlockCache::Block BlockCache::insert(Shard& shard, std::uint64_t key,
     return it->second.values;
   }
   shard.lru.push_front(key);
-  shard.map[key] = Entry{values, shard.lru.begin()};
+  shard.map[key] = Entry{values, shard.lru.begin(), false};
   shard.stats.resident_bytes += values->size() * sizeof(double);
-  // Evict strictly down to the shard budget — all the way to empty if a
-  // single block exceeds it (the caller holds the values shared_ptr, so
-  // nothing dangles). Retaining a minimum entry instead would let
-  // shard_count oversized blocks pin shard_count * chunk_bytes, breaking
-  // the O(cache_bytes) memory contract for explicit shard counts.
-  while (shard.stats.resident_bytes > shard_capacity_ &&
-         !shard.map.empty()) {
-    const std::uint64_t victim = shard.lru.back();
-    shard.lru.pop_back();
-    const auto vit = shard.map.find(victim);
-    shard.stats.resident_bytes -= vit->second.values->size() * sizeof(double);
-    shard.map.erase(vit);
-    ++shard.stats.evictions;
-  }
+  evict_to_budget(shard);
   return values;
+}
+
+void BlockCache::insert_prefetched(std::uint64_t key, Block values) const {
+  Shard& shard = shards_[key & (shard_count_ - 1)];
+  std::lock_guard lock(shard.mu);
+  ++shard.stats.prefetch_issued;
+  // A demand load (or an earlier prefetch) won the race: keep it, and do
+  // not refresh its LRU position — only demand access is recency.
+  if (shard.map.find(key) != shard.map.end()) return;
+  const std::size_t bytes = values->size() * sizeof(double);
+  shard.lru.push_front(key);
+  shard.map[key] = Entry{std::move(values), shard.lru.begin(), true};
+  shard.stats.resident_bytes += bytes;
+  evict_to_budget(shard);
+}
+
+bool BlockCache::contains(std::uint64_t key) const {
+  Shard& shard = shards_[key & (shard_count_ - 1)];
+  std::lock_guard lock(shard.mu);
+  return shard.map.find(key) != shard.map.end();
 }
 
 CacheStats BlockCache::stats() const {
@@ -90,6 +120,9 @@ CacheStats BlockCache::stats() const {
     total.misses += shards_[s].stats.misses;
     total.evictions += shards_[s].stats.evictions;
     total.resident_bytes += shards_[s].stats.resident_bytes;
+    total.prefetch_issued += shards_[s].stats.prefetch_issued;
+    total.prefetch_hits += shards_[s].stats.prefetch_hits;
+    total.prefetch_wasted += shards_[s].stats.prefetch_wasted;
   }
   return total;
 }

@@ -28,6 +28,14 @@ struct CacheStats {
   std::size_t misses = 0;
   std::size_t evictions = 0;
   std::size_t resident_bytes = 0;
+  /// Async readahead accounting (SeriesReader prefetch): blocks decoded
+  /// ahead of demand and offered via insert_prefetched, demand hits
+  /// served by such a block, and prefetched blocks evicted before any
+  /// demand hit (decode work thrown away). issued - hits - wasted =
+  /// prefetched blocks still resident (or raced by a demand load).
+  std::size_t prefetch_issued = 0;
+  std::size_t prefetch_hits = 0;
+  std::size_t prefetch_wasted = 0;
 };
 
 /// Thread-safe sharded LRU cache of decoded chunk blocks.
@@ -57,23 +65,49 @@ class BlockCache {
   /// shared_ptr, so nothing dangles). Templated over the loader so the
   /// cache-hit path stays allocation-free — chunk() sits on the gather
   /// hot path, and a std::function would heap-allocate per call.
+  ///
+  /// The optional `frontier` out-param is set true when this get advanced
+  /// the demand frontier — a miss, or the first demand hit on a block that
+  /// arrived via insert_prefetched — the signal readers use to schedule
+  /// further readahead (hits on already-demanded blocks set it false, so
+  /// revisits never re-issue prefetch).
   template <typename Load>
-  [[nodiscard]] Block get(std::uint64_t key, Load&& load) const {
+  [[nodiscard]] Block get(std::uint64_t key, Load&& load,
+                          bool* frontier = nullptr) const {
     Shard& shard = shards_[key & (shard_count_ - 1)];
     {
       std::lock_guard lock(shard.mu);
       if (const auto it = shard.map.find(key); it != shard.map.end()) {
         ++shard.stats.hits;
+        if (it->second.prefetched) {
+          it->second.prefetched = false;
+          ++shard.stats.prefetch_hits;
+          if (frontier) *frontier = true;
+        } else if (frontier) {
+          *frontier = false;
+        }
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
         return it->second.values;
       }
       ++shard.stats.misses;
     }
+    if (frontier) *frontier = true;
     // I/O and decode run unlocked so same-shard workers stay parallel on
     // misses; two threads may load the same block concurrently, and
     // insert() keeps the first one.
     return insert(shard, key, load());
   }
+
+  /// Offer a block decoded ahead of demand (async readahead). Tagged so
+  /// the first demand get() counts a prefetch hit and eviction before any
+  /// hit counts it wasted. A block already resident is left untouched
+  /// (the demand load won the race; its LRU position is not refreshed).
+  void insert_prefetched(std::uint64_t key, Block values) const;
+
+  /// True when `key` is resident right now — an advisory check prefetch
+  /// schedulers use to skip already-cached blocks (racy by nature: the
+  /// answer can be stale by the time the caller acts on it).
+  [[nodiscard]] bool contains(std::uint64_t key) const;
 
   /// Aggregated over all shards (locks each shard briefly).
   [[nodiscard]] CacheStats stats() const;
@@ -86,6 +120,9 @@ class BlockCache {
   struct Entry {
     Block values;
     std::list<std::uint64_t>::iterator lru_it;
+    /// Arrived via insert_prefetched and not yet demanded — cleared by the
+    /// first demand get() (prefetch hit); still set at eviction = wasted.
+    bool prefetched = false;
   };
   /// One cache shard: independent mutex, LRU list, map, stats, and an
   /// equal slice of the byte budget. Shard choice is a mask over the
@@ -101,6 +138,9 @@ class BlockCache {
   /// same-key miss) and evict down to the shard budget.
   [[nodiscard]] Block insert(Shard& shard, std::uint64_t key,
                              Block values) const;
+  /// Evict LRU entries until the shard fits its byte budget (caller holds
+  /// the shard lock); prefetched-and-never-hit victims count as wasted.
+  void evict_to_budget(Shard& shard) const;
 
   std::size_t shard_count_ = 1;
   std::size_t shard_capacity_ = 0;  ///< byte budget per shard

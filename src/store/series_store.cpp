@@ -1,12 +1,14 @@
 #include "store/series_store.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <limits>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "stats/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -20,9 +22,13 @@ constexpr char kMagic[4] = {'S', 'K', 'L', '3'};
 /// per-snapshot per-field [min, max] summary to each index record and an
 /// FNV-1a checksum over the index section to the header. v3 widens every
 /// block ref with an FNV-1a checksum of the block's encoded payload,
-/// verified before each decode.
+/// verified before each decode. v4 appends per-snapshot per-field coarse
+/// histogram counts (field::kCoarseHistogramBins u64s over the stored
+/// [min, max]) after the summary doubles — covered by the same index
+/// checksum — so temporal selection can seed its novelty ranking without
+/// decoding a single payload block.
 constexpr std::uint32_t kVersionLegacy = 1;
-constexpr std::uint32_t kVersionLatest = 3;
+constexpr std::uint32_t kVersionLatest = 4;
 
 /// Block-ref width in u64s: v3 adds the per-block payload checksum.
 constexpr std::size_t entry_words(std::uint32_t version) {
@@ -173,6 +179,30 @@ void SeriesWriter::append(const field::Snapshot& snap) {
         r.max = std::max(r.max, x);
       }
       summaries_.push_back(r);
+      if (version_ >= 4) {
+        // Coarse histogram over the snapshot's OWN range, through the
+        // same stats::Histogram kernel the reader-side scan fallback
+        // (sampling) uses — the kCoarseHistogramBins contract in
+        // field_source.hpp — so index-resident and scanned counts are
+        // bit-identical for lossless codecs.
+        double lo = r.min;
+        double hi = r.max;
+        if (!(hi > lo)) {
+          lo -= 0.5;
+          hi += 0.5;
+        }
+        if (std::isfinite(lo) && std::isfinite(hi) && hi > lo) {
+          stats::Histogram h(lo, hi, field::kCoarseHistogramBins);
+          h.add(data);
+          for (const std::size_t c : h.counts()) {
+            hists_.push_back(static_cast<std::uint64_t>(c));
+          }
+        } else {
+          // All-NaN field: no finite range exists; store zero counts (the
+          // scan fallback produces the same).
+          hists_.insert(hists_.end(), field::kCoarseHistogramBins, 0);
+        }
+      }
     }
   }
 
@@ -204,6 +234,9 @@ SeriesWriteReport SeriesWriter::close() {
   section.reserve(times_.size() *
                   (sizeof(double) +
                    (version_ >= 2 ? nfields * 2 * sizeof(double) : 0) +
+                   (version_ >= 4 ? nfields * field::kCoarseHistogramBins *
+                                        sizeof(std::uint64_t)
+                                  : 0) +
                    nfields * nchunks * entry_words(version_) *
                        sizeof(std::uint64_t)));
   for (std::size_t t = 0; t < times_.size(); ++t) {
@@ -213,6 +246,13 @@ SeriesWriteReport SeriesWriter::close() {
         const field::VarRange& r = summaries_[t * nfields + f];
         append_pod<double>(section, r.min);
         append_pod<double>(section, r.max);
+      }
+    }
+    if (version_ >= 4) {
+      const std::size_t base = t * nfields * field::kCoarseHistogramBins;
+      for (std::size_t i = 0; i < nfields * field::kCoarseHistogramBins;
+           ++i) {
+        append_pod<std::uint64_t>(section, hists_[base + i]);
       }
     }
     for (std::size_t b = 0; b < nfields * nchunks; ++b) {
@@ -248,7 +288,16 @@ SeriesWriteReport SeriesWriter::close() {
 // ---------------------------------------------------------------- reader
 
 SeriesReader::SeriesReader(const std::string& path, std::size_t cache_bytes,
-                           std::size_t shards) {
+                           std::size_t shards)
+    : SeriesReader(path, ReaderOptions{cache_bytes, shards, 0, nullptr}) {}
+
+// Default member-wise teardown does the draining: prefetch_group_ is the
+// last member, so it is destroyed first and its TaskGroup dtor waits for
+// in-flight readahead tasks while file_/cache_/index_ are still alive.
+SeriesReader::~SeriesReader() = default;
+
+SeriesReader::SeriesReader(const std::string& path,
+                           const ReaderOptions& ropts) {
   file_ = std::make_unique<ReadOnlyFile>(path);
   const auto file_size =
       static_cast<std::uint64_t>(std::filesystem::file_size(path));
@@ -330,13 +379,18 @@ SeriesReader::SeriesReader(const std::string& path, std::size_t cache_bytes,
   }
   const std::uint64_t blocks_per_snap = nfields * nchunks;
   // v2+ index records carry nfields [min, max] summary doubles after the
-  // snapshot time. (nfields < 1024 and num_snapshots < 2^24, so the
-  // summary term cannot overflow.)
+  // snapshot time; v4 adds nfields * kCoarseHistogramBins u64 histogram
+  // counts after the summaries. (nfields < 1024 and num_snapshots < 2^24,
+  // so neither term can overflow.)
   const std::uint64_t summary_bytes =
       version_ >= 2 ? nfields * 2 * sizeof(double) : 0;
+  const std::uint64_t hist_bytes =
+      version_ >= 4
+          ? nfields * field::kCoarseHistogramBins * sizeof(std::uint64_t)
+          : 0;
   const std::uint64_t index_bytes =
-      num_snapshots *
-      (sizeof(double) + summary_bytes + blocks_per_snap * entry_bytes);
+      num_snapshots * (sizeof(double) + summary_bytes + hist_bytes +
+                       blocks_per_snap * entry_bytes);
   if (index_offset > file_size || index_bytes > file_size - index_offset) {
     throw RuntimeError("SKL3 index points outside the file (truncated?): " +
                        path);
@@ -354,6 +408,10 @@ SeriesReader::SeriesReader(const std::string& path, std::size_t cache_bytes,
   times_.reserve(num_snapshots);
   index_.resize(num_snapshots * blocks_per_snap);
   if (version_ >= 2) summaries_.reserve(num_snapshots * nfields);
+  if (version_ >= 4) {
+    histograms_.reserve(num_snapshots * nfields *
+                        field::kCoarseHistogramBins);
+  }
   for (std::uint64_t t = 0; t < num_snapshots; ++t) {
     times_.push_back(read_at<double>(raw_index, ipos, path));
     if (version_ >= 2) {
@@ -362,6 +420,13 @@ SeriesReader::SeriesReader(const std::string& path, std::size_t cache_bytes,
         r.min = read_at<double>(raw_index, ipos, path);
         r.max = read_at<double>(raw_index, ipos, path);
         summaries_.push_back(r);
+      }
+    }
+    if (version_ >= 4) {
+      for (std::uint64_t i = 0;
+           i < nfields * field::kCoarseHistogramBins; ++i) {
+        histograms_.push_back(
+            read_at<std::uint64_t>(raw_index, ipos, path));
       }
     }
     for (std::uint64_t b = 0; b < blocks_per_snap; ++b) {
@@ -386,7 +451,13 @@ SeriesReader::SeriesReader(const std::string& path, std::size_t cache_bytes,
 
   const std::size_t chunk_bytes =
       layout_.chunk_shape().size() * sizeof(double);
-  cache_ = std::make_unique<BlockCache>(cache_bytes, chunk_bytes, shards);
+  cache_ = std::make_unique<BlockCache>(ropts.cache_bytes, chunk_bytes,
+                                        ropts.shards);
+  prefetch_depth_ = ropts.prefetch_depth;
+  if (prefetch_depth_ > 0) {
+    prefetch_pool_ = ropts.pool != nullptr ? ropts.pool : &ThreadPool::global();
+    prefetch_group_ = std::make_unique<TaskGroup>(*prefetch_pool_);
+  }
 }
 
 std::optional<field::VarRange> SeriesReader::value_range(
@@ -398,35 +469,87 @@ std::optional<field::VarRange> SeriesReader::value_range(
   return summaries_[t * names_.size() + it->second];
 }
 
+std::optional<std::vector<std::uint64_t>> SeriesReader::coarse_histogram(
+    std::size_t t, const std::string& var) const {
+  SICKLE_CHECK(t < times_.size());
+  if (histograms_.empty()) return std::nullopt;  // v1-v3: no histogram block
+  const auto it = field_index_.find(var);
+  SICKLE_CHECK_MSG(it != field_index_.end(), "unknown field: " + var);
+  const std::size_t base =
+      (t * names_.size() + it->second) * field::kCoarseHistogramBins;
+  return std::vector<std::uint64_t>(
+      histograms_.begin() + static_cast<std::ptrdiff_t>(base),
+      histograms_.begin() +
+          static_cast<std::ptrdiff_t>(base + field::kCoarseHistogramBins));
+}
+
+BlockCache::Block SeriesReader::load_block(std::uint64_t key) const {
+  obs::Span load_span("store.load_chunk", "store");
+  const std::size_t chunk_id = key % layout_.count();
+  const auto block = file_->read(index_[key].offset, index_[key].bytes);
+  if (version_ >= 3 &&
+      fnv1a64(std::span<const std::uint8_t>(block)) !=
+          index_[key].checksum) {
+    throw RuntimeError("SKL3 chunk checksum mismatch (corrupt block)");
+  }
+  if (obs::enabled()) {
+    obs::Span decode_span("codec.decode", "codec");
+    Timer decode_timer;
+    auto values = std::make_shared<const std::vector<double>>(
+        codec_->decode(std::span<const std::uint8_t>(block),
+                       layout_.box(chunk_id).points()));
+    obs::MetricsRegistry::global()
+        .gauge("codec.decode_seconds")
+        .add(decode_timer.seconds());
+    return values;
+  }
+  return std::make_shared<const std::vector<double>>(
+      codec_->decode(std::span<const std::uint8_t>(block),
+                     layout_.box(chunk_id).points()));
+}
+
+void SeriesReader::schedule_prefetch(std::size_t t, std::size_t f,
+                                     std::size_t chunk_id) const {
+  const std::uint64_t nchunks = layout_.count();
+  const std::uint64_t base = (t * names_.size() + f) * nchunks;
+  const std::uint64_t key = base + chunk_id;
+  const std::uint64_t last =
+      base + std::min<std::uint64_t>(chunk_id + prefetch_depth_, nchunks - 1);
+  // Claim (frontier, last] atomically: the frontier only moves forward,
+  // so overlapping demand accesses on one stream issue each block at most
+  // once. (Interleaved streams share the frontier — the higher-key stream
+  // wins; readahead is advisory, correctness never depends on it.)
+  std::uint64_t prev = prefetch_next_.load(std::memory_order_relaxed);
+  while (prev < last + 1 &&
+         !prefetch_next_.compare_exchange_weak(prev, last + 1,
+                                               std::memory_order_relaxed)) {
+  }
+  const std::uint64_t first = std::max(key + 1, prev);
+  for (std::uint64_t k = first; k <= last; ++k) {
+    if (cache_->contains(k)) continue;
+    prefetch_group_->run([this, k] {
+      try {
+        cache_->insert_prefetched(k, load_block(k));
+      } catch (...) {
+        // Advisory readahead: drop the failure (I/O error, corrupt
+        // block); the demand path rediscovers and reports it.
+      }
+    });
+  }
+}
+
 std::shared_ptr<const std::vector<double>> SeriesReader::chunk(
     std::size_t t, std::size_t field_index, std::size_t chunk_id) const {
   SICKLE_CHECK(t < times_.size() && field_index < names_.size() &&
                chunk_id < layout_.count());
   const std::uint64_t key =
       (t * names_.size() + field_index) * layout_.count() + chunk_id;
-  return cache_->get(key, [&]() -> BlockCache::Block {
-    obs::Span load_span("store.load_chunk", "store");
-    const auto block = file_->read(index_[key].offset, index_[key].bytes);
-    if (version_ >= 3 &&
-        fnv1a64(std::span<const std::uint8_t>(block)) !=
-            index_[key].checksum) {
-      throw RuntimeError("SKL3 chunk checksum mismatch (corrupt block)");
-    }
-    if (obs::enabled()) {
-      obs::Span decode_span("codec.decode", "codec");
-      Timer decode_timer;
-      auto values = std::make_shared<const std::vector<double>>(
-          codec_->decode(std::span<const std::uint8_t>(block),
-                         layout_.box(chunk_id).points()));
-      obs::MetricsRegistry::global()
-          .gauge("codec.decode_seconds")
-          .add(decode_timer.seconds());
-      return values;
-    }
-    return std::make_shared<const std::vector<double>>(
-        codec_->decode(std::span<const std::uint8_t>(block),
-                       layout_.box(chunk_id).points()));
-  });
+  bool frontier = false;
+  auto values =
+      cache_->get(key, [&]() -> BlockCache::Block { return load_block(key); },
+                  prefetch_depth_ > 0 ? &frontier : nullptr);
+  if (frontier) schedule_prefetch(t, field_index, chunk_id);
+  return values;
 }
 
 field::Snapshot SeriesReader::load_snapshot(std::size_t t) const {

@@ -18,7 +18,12 @@
 /// value — plus an FNV-1a checksum over the whole index section. Readers
 /// accept v1 files (no summary: value_range reports nullopt and consumers
 /// fall back to scanning); a corrupted v2 index fails the checksum with a
-/// clear error instead of decoding garbage. Layout spec: docs/STORE.md.
+/// clear error instead of decoding garbage. Format v4 further appends
+/// per-snapshot per-variable *coarse histogram* counts
+/// (field::kCoarseHistogramBins bins over the stored [min, max]) to each
+/// index record — still covered by the index checksum — so temporal
+/// selection on a sealed series seeds its novelty ranking with zero
+/// payload decodes (coarse_histogram). Layout spec: docs/STORE.md.
 #pragma once
 
 #include <cstddef>
@@ -31,12 +36,29 @@
 
 #include "field/field.hpp"
 #include "field/field_source.hpp"
+#include "parallel/thread_pool.hpp"
 #include "store/block_cache.hpp"
 #include "store/chunk_layout.hpp"
 #include "store/codec.hpp"
 #include "store/snapshot_store.hpp"
 
 namespace sickle::store {
+
+/// How a SeriesReader caches and prefetches decoded blocks.
+struct ReaderOptions {
+  std::size_t cache_bytes = 64ull << 20;  ///< decoded-block LRU budget
+  std::size_t shards = 0;                 ///< 0 = auto (see BlockCache)
+  /// Async readahead depth: when a demand access advances into a new
+  /// block, the next `prefetch_depth` blocks of the same snapshot+field
+  /// are read and decoded on the pool while the caller consumes the
+  /// current one. 0 disables readahead entirely (no pool touched, no
+  /// extra threads) — and prefetch NEVER changes decoded values, only
+  /// when they are decoded, so results are bit-identical either way.
+  std::size_t prefetch_depth = 0;
+  /// Pool running prefetch decodes; nullptr = ThreadPool::global().
+  /// Ignored when prefetch_depth == 0.
+  ThreadPool* pool = nullptr;
+};
 
 /// What a SeriesWriter did, returned by close().
 struct SeriesWriteReport {
@@ -106,6 +128,9 @@ class SeriesWriter {
   std::vector<double> times_;    ///< one per appended snapshot
   std::vector<BlockRef> index_;  ///< [(t * nfields + f) * nchunks + c]
   std::vector<field::VarRange> summaries_;  ///< [t * nfields + f], v2 only
+  /// Coarse histogram counts, v4 only:
+  /// [(t * nfields + f) * field::kCoarseHistogramBins + bin].
+  std::vector<std::uint64_t> hists_;
   SeriesWriteReport report_;
   bool closed_ = false;
 };
@@ -150,6 +175,11 @@ class SeriesReader final : public field::SeriesSource {
   explicit SeriesReader(const std::string& path,
                         std::size_t cache_bytes = 64ull << 20,
                         std::size_t shards = 0);
+  /// Full-options form; the (path, cache_bytes, shards) overload is
+  /// shorthand for ReaderOptions with readahead off.
+  SeriesReader(const std::string& path, const ReaderOptions& opts);
+  /// Drains in-flight prefetch tasks before any member is torn down.
+  ~SeriesReader() override;
 
   SeriesReader(const SeriesReader&) = delete;
   SeriesReader& operator=(const SeriesReader&) = delete;
@@ -174,6 +204,14 @@ class SeriesReader final : public field::SeriesSource {
   /// the pre-encode values (within codec tolerance of the decoded ones).
   [[nodiscard]] std::optional<field::VarRange> value_range(
       std::size_t t, const std::string& var) const override;
+  /// Index-resident coarse histogram (format v4): counts of the canonical
+  /// field::kCoarseHistogramBins-bin histogram of one variable over its
+  /// stored per-snapshot [min, max], read from the index without touching
+  /// the payload. nullopt for v1-v3 files — consumers (temporal
+  /// selection) then fall back to a streamed scan. Same quant-codec
+  /// caveat as value_range: counts describe the pre-encode values.
+  [[nodiscard]] std::optional<std::vector<std::uint64_t>> coarse_histogram(
+      std::size_t t, const std::string& var) const override;
 
   [[nodiscard]] const field::GridShape& shape() const noexcept {
     return layout_.grid();
@@ -190,7 +228,11 @@ class SeriesReader final : public field::SeriesSource {
   }
 
   /// Decoded values of one chunk of one field of one snapshot, z-fastest
-  /// within the chunk. Valid after eviction (shared ownership).
+  /// within the chunk. Valid after eviction (shared ownership). When
+  /// readahead is on (ReaderOptions::prefetch_depth > 0) a demand access
+  /// that advances into a new block also schedules async decodes of the
+  /// following blocks of the same snapshot+field — identical values,
+  /// earlier decode.
   [[nodiscard]] std::shared_ptr<const std::vector<double>> chunk(
       std::size_t t, std::size_t field_index, std::size_t chunk_id) const;
 
@@ -199,16 +241,26 @@ class SeriesReader final : public field::SeriesSource {
 
   using CacheStats = store::CacheStats;
   [[nodiscard]] CacheStats cache_stats() const { return cache_->stats(); }
+  /// Block until every queued readahead decode has landed in the cache —
+  /// deterministic prefetch counters for tests/benches; demand reads
+  /// never need it (they load any block not yet resident themselves).
+  void drain_prefetch() const {
+    if (prefetch_group_) prefetch_group_->wait();
+  }
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return cache_->shard_count();
   }
   /// Container format version (1 = no summary block, 2 = summary block +
-  /// index checksum, 3 = v2 plus per-block payload checksums).
+  /// index checksum, 3 = v2 plus per-block payload checksums, 4 = v3 plus
+  /// index-resident coarse histogram summaries).
   [[nodiscard]] std::uint32_t format_version() const noexcept {
     return version_;
   }
   [[nodiscard]] bool has_summaries() const noexcept {
     return !summaries_.empty();
+  }
+  [[nodiscard]] bool has_histograms() const noexcept {
+    return !histograms_.empty();
   }
   /// Total bytes fetched from the file since open (header + index +
   /// payload) — I/O accounting for single-pass assertions.
@@ -224,6 +276,16 @@ class SeriesReader final : public field::SeriesSource {
     std::uint64_t checksum = 0;
   };
 
+  /// Read + decode one block by flat index key (no cache interaction).
+  [[nodiscard]] BlockCache::Block load_block(std::uint64_t key) const;
+  /// Queue async decodes of the blocks after `chunk_id` in (t, f) — up to
+  /// prefetch_depth_, clipped to the snapshot+field, skipping resident
+  /// blocks and keys behind the monotone issue frontier (so overlapping
+  /// demand accesses never double-issue). Advisory: task failures are
+  /// swallowed; the demand path rediscovers and reports them.
+  void schedule_prefetch(std::size_t t, std::size_t f,
+                         std::size_t chunk_id) const;
+
   std::unique_ptr<ReadOnlyFile> file_;
   ChunkLayout layout_{{1, 1, 1}, {1, 1, 1}};
   std::uint32_t version_ = 0;
@@ -234,8 +296,21 @@ class SeriesReader final : public field::SeriesSource {
   std::vector<double> times_;
   std::vector<BlockRef> index_;  ///< [(t * nfields + f) * nchunks + c]
   std::vector<field::VarRange> summaries_;  ///< [t * nfields + f], v2 only
+  /// Coarse histogram counts, v4 only:
+  /// [(t * nfields + f) * field::kCoarseHistogramBins + bin].
+  std::vector<std::uint64_t> histograms_;
   std::vector<SeriesSnapshotView> views_;  ///< one borrowable view per t
   std::unique_ptr<BlockCache> cache_;
+  std::size_t prefetch_depth_ = 0;
+  ThreadPool* prefetch_pool_ = nullptr;
+  /// Highest block key ever queued for readahead, plus one — a monotone
+  /// frontier so interleaved demand accesses on one stream issue each
+  /// block at most once.
+  mutable std::atomic<std::uint64_t> prefetch_next_{0};
+  /// MUST stay the last member: its destruction (first, in reverse
+  /// declaration order) waits for in-flight prefetch tasks, which touch
+  /// file_/cache_/index_ — all still alive at that point.
+  mutable std::unique_ptr<TaskGroup> prefetch_group_;
 };
 
 }  // namespace sickle::store

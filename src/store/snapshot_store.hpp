@@ -37,6 +37,11 @@ struct StoreOptions {
   std::string codec = "delta";         ///< "raw" | "delta" | "quant"
   double tolerance = 1e-6;             ///< quant max abs error
   std::size_t cache_bytes = 64ull << 20;  ///< reader block-cache capacity
+  /// Reader-side async readahead depth (SKL3 SeriesReader): decode the
+  /// next N blocks of a stream on the pool while the current one is
+  /// consumed. 0 = off. Values are bit-identical either way; only decode
+  /// timing changes.
+  std::size_t prefetch_depth = 0;
   ThreadPool* pool = nullptr;          ///< encode pool; nullptr = global()
   /// Streaming-writer budget (SKL2 v2 write_store and SKL3 SeriesWriter):
   /// encoded blocks are flushed to disk in waves whose raw input stays

@@ -345,7 +345,7 @@ TEST_F(ContainerFuzz, Skl3BitFlipSweepIsExactOrTypedError) {
   std::vector<std::vector<double>> ref;
   {
     SeriesReader reader(path("base.skl3"));
-    ASSERT_EQ(reader.format_version(), 3u);
+    ASSERT_EQ(reader.format_version(), 4u);
     for (std::size_t t = 0; t < reader.num_snapshots(); ++t) {
       const auto s = reader.load_snapshot(t);
       for (const auto& name : s.names()) {

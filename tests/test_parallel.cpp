@@ -133,6 +133,112 @@ TEST(TaskGroup, ConcurrentParallelForCallsAreIndependent) {
   for (const auto& f : failures) EXPECT_EQ(f, "");
 }
 
+/// Nested fan-out on a one-worker pool: the outer task's TaskGroup::wait
+/// must *help* (run the inner tasks itself) rather than block — under the
+/// old FIFO pool this deadlocks, since the inner tasks sit queued behind
+/// the blocked outer task forever.
+TEST(TaskGroup, NestedWaitOnSingleWorkerDoesNotDeadlock) {
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  TaskGroup outer(pool);
+  outer.run([&] {
+    TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i) {
+      group.run([&inner] { ++inner; });
+    }
+    group.wait();  // worker thread: helps, never blocks on itself
+  });
+  outer.wait();
+  EXPECT_EQ(inner.load(), 8);
+}
+
+// Three levels of nested parallel_for computing a deterministic triple
+// sum. The chunk cuts depend only on (n, workers, grain), so every pool
+// size must produce the bit-identical integer result of the serial loop.
+long nested_triple_sum(ThreadPool* pool) {
+  constexpr std::size_t kOuter = 24;
+  constexpr std::size_t kMid = 16;
+  constexpr std::size_t kInner = 12;
+  std::vector<long> outer_sums(kOuter, 0);
+  parallel_for(
+      kOuter,
+      [&](std::size_t i) {
+        std::vector<long> mid_sums(kMid, 0);
+        parallel_for(
+            kMid,
+            [&](std::size_t j) {
+              std::atomic<long> s{0};
+              parallel_for(
+                  kInner,
+                  [&](std::size_t k) {
+                    s += static_cast<long>((i + 1) * (j + 2) * (k + 3));
+                  },
+                  pool, 3);
+              mid_sums[j] = s.load();
+            },
+            pool, 2);
+        long total = 0;
+        for (long v : mid_sums) total += v;
+        outer_sums[i] = total;
+      },
+      pool, 2);
+  long total = 0;
+  for (long v : outer_sums) total += v;
+  return total;
+}
+
+TEST(ParallelFor, NestedThreeLevelsBitExactAcrossPoolSizes) {
+  long serial = 0;
+  for (std::size_t i = 0; i < 24; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      for (std::size_t k = 0; k < 12; ++k) {
+        serial += static_cast<long>((i + 1) * (j + 2) * (k + 3));
+      }
+    }
+  }
+  ThreadPool pool1(1);
+  EXPECT_EQ(nested_triple_sum(&pool1), serial);
+  ThreadPool pool4(4);
+  EXPECT_EQ(nested_triple_sum(&pool4), serial);
+}
+
+/// Work-stealing stress: many host threads hammer one small pool with
+/// nested parallel_for rounds, forcing steals, overflow-queue traffic,
+/// helper waits, and sleep/wake transitions concurrently. Runs under TSan
+/// in CI (the tsan-concurrency job runs all of test_parallel).
+TEST(ThreadPool, NestedStressManyCallersIsRaceFree) {
+  ThreadPool pool(3);
+  constexpr std::size_t kCallers = 5;
+  constexpr std::size_t kRounds = 20;
+  std::vector<std::thread> callers;
+  std::vector<long> results(kCallers, 0);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      long acc = 0;
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        std::atomic<long> sum{0};
+        parallel_for(
+            64,
+            [&](std::size_t i) {
+              std::atomic<long> inner{0};
+              parallel_for(
+                  8, [&](std::size_t j) { inner += static_cast<long>(j + i); },
+                  &pool, 1);
+              sum += inner.load();
+            },
+            &pool, 4);
+        acc += sum.load();
+      }
+      results[c] = acc;
+    });
+  }
+  for (auto& t : callers) t.join();
+  // sum over i<64, j<8 of (i+j) = 64*28 + 8*2016 = 17920 per round.
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(results[c], 17920L * kRounds) << "caller " << c;
+  }
+}
+
 TEST(PoolHandle, ResolvesThreadsKnob) {
   // 1 = serial: no pool at all.
   EXPECT_EQ(resolve_threads(1).get(), nullptr);

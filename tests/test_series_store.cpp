@@ -8,12 +8,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <thread>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "stats/histogram.hpp"
 #include "sampling/pipeline.hpp"
 #include "sampling/temporal.hpp"
 #include "sickle/case.hpp"
@@ -492,7 +495,7 @@ TEST_F(SeriesStoreTest, SummaryBlocksCarryExactRanges) {
   (void)writer.close();
 
   const SeriesReader reader(path("sum.skl3"));
-  EXPECT_EQ(reader.format_version(), 3u);
+  EXPECT_EQ(reader.format_version(), 4u);
   EXPECT_TRUE(reader.has_summaries());
   for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
     for (const auto& name : ds.snapshot(t).names()) {
@@ -582,6 +585,228 @@ TEST_F(SeriesStoreTest, SummariesHalveColdSelectionIo) {
   // payloads, so the halving is exact).
   EXPECT_GT(one_delta, 0u);
   EXPECT_EQ(2 * one_delta, two_delta);
+}
+
+/// SKL3 v4 round-trip: index-resident coarse histograms equal what the
+/// canonical kernel (stats::Histogram over the snapshot's own exact
+/// range) computes from the raw data — the contract that lets selection
+/// seed from the index with zero payload decodes.
+TEST_F(SeriesStoreTest, IndexHistogramsMatchScannedCoarseCounts) {
+  const auto ds = make_series(4);
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  SeriesWriter writer(path("hist.skl3"), opts);
+  for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
+    writer.append(ds.snapshot(t));
+  }
+  (void)writer.close();
+
+  const SeriesReader reader(path("hist.skl3"));
+  EXPECT_EQ(reader.format_version(), 4u);
+  EXPECT_TRUE(reader.has_histograms());
+  for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
+    for (const auto& name : ds.snapshot(t).names()) {
+      const auto got = reader.coarse_histogram(t, name);
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(got->size(), field::kCoarseHistogramBins);
+      const auto data = ds.snapshot(t).get(name).data();
+      double lo = *std::min_element(data.begin(), data.end());
+      double hi = *std::max_element(data.begin(), data.end());
+      if (!(hi > lo)) {
+        lo -= 0.5;
+        hi += 0.5;
+      }
+      stats::Histogram want(lo, hi, field::kCoarseHistogramBins);
+      want.add(std::span<const double>(data));
+      std::uint64_t total = 0;
+      for (std::size_t b = 0; b < field::kCoarseHistogramBins; ++b) {
+        ASSERT_EQ((*got)[b], want.counts()[b])
+            << "t=" << t << " var=" << name << " bin=" << b;
+        total += (*got)[b];
+      }
+      EXPECT_EQ(total, data.size());
+    }
+  }
+}
+
+/// v1/v3 files carry no histogram block: coarse_histogram reports nullopt
+/// and the seeded selection falls back to scanning — with indices
+/// identical to both the in-memory source and a v4 file of the same data
+/// (k chosen so the candidate set is a strict subset and the seeding
+/// stage actually runs).
+TEST_F(SeriesStoreTest, SeededSelectionIsIdenticalAcrossFormatVersions) {
+  const auto ds = make_series(12);
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  auto write_series = [&](const std::string& name, std::uint32_t version) {
+    opts.format_version = version;
+    SeriesWriter writer(path(name), opts);
+    for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
+      writer.append(ds.snapshot(t));
+    }
+    (void)writer.close();
+  };
+  write_series("sel_v1.skl3", 1);
+  write_series("sel_v3.skl3", 3);
+  write_series("sel_v4.skl3", 0);  // latest = v4
+
+  sampling::TemporalConfig tc;
+  tc.variable = "u";
+  tc.num_snapshots = 2;
+  tc.bins = 16;  // refine_factor 2 -> 4 candidates out of 12
+  const auto expected =
+      sampling::select_snapshots(field::DatasetSeriesSource(ds), tc);
+  ASSERT_EQ(expected.size(), 2u);
+
+  const SeriesReader v1(path("sel_v1.skl3"));
+  const SeriesReader v3(path("sel_v3.skl3"));
+  const SeriesReader v4(path("sel_v4.skl3"));
+  EXPECT_EQ(v1.coarse_histogram(0, "u"), std::nullopt);
+  EXPECT_EQ(v3.coarse_histogram(0, "u"), std::nullopt);
+  EXPECT_FALSE(v3.has_histograms());
+  EXPECT_TRUE(v4.has_histograms());
+  EXPECT_EQ(sampling::select_snapshots(v1, tc), expected);
+  EXPECT_EQ(sampling::select_snapshots(v3, tc), expected);
+  EXPECT_EQ(sampling::select_snapshots(v4, tc), expected);
+}
+
+/// The tentpole acceptance criterion: on a sealed v4 series the seeding
+/// stage decodes ZERO payload blocks — the first (and only) decodes are
+/// the exact refinement pass over the candidate snapshots. The version
+/// ladder quantifies the win: v3 pays one extra full histogram pass, v1
+/// two (range + histogram). The cache is sized below the working set so
+/// no pass can hide in it.
+TEST_F(SeriesStoreTest, SeededSelectionDecodesOnlyCandidateBlocks) {
+  const auto ds = make_series(12);
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  auto write_series = [&](const std::string& name, std::uint32_t version) {
+    opts.format_version = version;
+    SeriesWriter writer(path(name), opts);
+    for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
+      writer.append(ds.snapshot(t));
+    }
+    (void)writer.close();
+  };
+  write_series("io_v1.skl3", 1);
+  write_series("io_v3.skl3", 3);
+  write_series("io_v4.skl3", 0);  // latest = v4
+
+  sampling::TemporalConfig tc;
+  tc.variable = "u";
+  tc.num_snapshots = 2;
+  tc.bins = 16;
+  const std::size_t n = 12;
+  const std::size_t m = tc.refine_factor * tc.num_snapshots;  // 4 candidates
+  // 12 chunks per field per snapshot (10x6x5 grid in 4^3 chunks).
+  const std::size_t chunks_per_snap = 12;
+  const std::size_t tiny_cache = 2 * 4 * 4 * 4 * sizeof(double);
+  const auto expected =
+      sampling::select_snapshots(field::DatasetSeriesSource(ds), tc);
+
+  const SeriesReader v4(path("io_v4.skl3"), tiny_cache);
+  EXPECT_EQ(v4.cache_stats().misses, 0u);  // opening decodes nothing
+  EXPECT_EQ(sampling::select_snapshots(v4, tc), expected);
+  // Zero decodes before refinement: only the m candidates' blocks of the
+  // selection variable were ever decoded.
+  EXPECT_EQ(v4.cache_stats().misses, m * chunks_per_snap);
+
+  const SeriesReader v3(path("io_v3.skl3"), tiny_cache);
+  EXPECT_EQ(sampling::select_snapshots(v3, tc), expected);
+  // v3 seeds from index ranges but must scan the coarse histograms: one
+  // full pass plus the refinement (3x the v4 block decodes here).
+  EXPECT_EQ(v3.cache_stats().misses, (n + m) * chunks_per_snap);
+
+  const SeriesReader v1(path("io_v1.skl3"), tiny_cache);
+  EXPECT_EQ(sampling::select_snapshots(v1, tc), expected);
+  // v1 additionally pays the range pass: two full passes plus refinement.
+  EXPECT_EQ(v1.cache_stats().misses, (2 * n + m) * chunks_per_snap);
+}
+
+/// A flipped byte inside the v4 histogram region of the index must fail
+/// the index checksum at open, exactly like any other index corruption.
+TEST_F(SeriesStoreTest, CorruptedHistogramCountsFailChecksum) {
+  const auto ds = make_series(2);
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  SeriesWriter writer(path("hflip.skl3"), opts);
+  writer.append(ds.snapshot(0));
+  writer.append(ds.snapshot(1));
+  (void)writer.close();
+
+  // Per-snapshot index record (3 fields, 12 chunks, v4): 8 (time) +
+  // 3*16 (summaries) + 3*64*8 (histogram counts) + 3*12*24 (block refs).
+  const std::size_t per_snap = 8 + 3 * 16 + 3 * 64 * 8 + 3 * 12 * 24;
+  const auto size = std::filesystem::file_size(path("hflip.skl3"));
+  // Flip a byte inside the LAST snapshot's histogram block.
+  const auto off =
+      static_cast<std::streamoff>(size - per_snap + 8 + 3 * 16 + 100);
+  {
+    std::fstream f(path("hflip.skl3"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(off);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x08);
+    f.seekp(off);
+    f.write(&b, 1);
+  }
+  try {
+    SeriesReader reader(path("hflip.skl3"));
+    FAIL() << "flipped histogram byte must be rejected";
+  } catch (const RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+/// Async readahead is advisory: identical decoded values, identical
+/// selection, only the decode timing moves. Whatever the race outcomes
+/// between demand loads and prefetch tasks, every block's first touch is
+/// either a demand miss or a prefetch hit — their sum is exactly the
+/// distinct-block count when nothing is evicted.
+TEST_F(SeriesStoreTest, PrefetchedReadsAreBitIdenticalWithAccountedHits) {
+  const auto ds = make_series(6);
+  StoreOptions opts;
+  opts.chunk = {4, 4, 4};
+  SeriesWriter writer(path("pf.skl3"), opts);
+  for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
+    writer.append(ds.snapshot(t));
+  }
+  (void)writer.close();
+
+  ThreadPool pool(2);
+  ReaderOptions ropts;
+  ropts.prefetch_depth = 4;
+  ropts.pool = &pool;
+  const SeriesReader plain(path("pf.skl3"));
+  const SeriesReader ahead(path("pf.skl3"), ropts);
+  for (std::size_t t = 0; t < ds.num_snapshots(); ++t) {
+    const auto a = plain.load_snapshot(t);
+    const auto b = ahead.load_snapshot(t);
+    for (const auto& name : a.names()) {
+      const auto av = a.get(name).data();
+      const auto bv = b.get(name).data();
+      EXPECT_TRUE(std::equal(av.begin(), av.end(), bv.begin(), bv.end()))
+          << "t=" << t << " var=" << name;
+    }
+  }
+  ahead.drain_prefetch();
+  const auto st = ahead.cache_stats();
+  const std::size_t blocks = 6 * 3 * 12;  // snapshots * fields * chunks
+  EXPECT_GT(st.prefetch_issued, 0u);
+  EXPECT_EQ(st.misses + st.prefetch_hits, blocks);
+  EXPECT_EQ(st.prefetch_wasted, 0u);  // default cache: nothing evicted
+  EXPECT_GE(st.prefetch_issued, st.prefetch_hits);
+
+  sampling::TemporalConfig tc;
+  tc.variable = "u";
+  tc.num_snapshots = 2;
+  tc.bins = 16;
+  const SeriesReader sel_plain(path("pf.skl3"));
+  const SeriesReader sel_ahead(path("pf.skl3"), ropts);
+  EXPECT_EQ(sampling::select_snapshots(sel_ahead, tc),
+            sampling::select_snapshots(sel_plain, tc));
 }
 
 TEST_F(SeriesStoreTest, IndexByteFlipFailsChecksum) {
@@ -687,6 +912,46 @@ TEST_F(SeriesStoreTest, StreamingSkl2IngestMatchesMemoryBackend) {
   EXPECT_EQ(streamed_report.train.test_loss, memory_report.train.test_loss);
   EXPECT_GT(streamed_report.ingest_peak_bytes, 0u);
   EXPECT_TRUE(std::filesystem::is_empty(dir_ / "skl2_spill"));
+}
+
+/// Fused rolling-window skl2 (streaming ingest, temporal stage off): each
+/// spill file is written, sampled, and deleted before the next snapshot
+/// is produced, so the disk high-water mark is ONE snapshot file — not
+/// the whole spilled series — while samples and training stay
+/// bit-identical to the fully materialized memory backend.
+TEST_F(SeriesStoreTest, FusedStreamingSkl2BoundsDiskToOneSnapshotFile) {
+  CaseConfig cc = tiny_case();
+  const auto memory_report = run_case(make_dataset("SST-P1F4", 4, 0.5), cc);
+  ASSERT_NE(memory_report.sample_hash, 0u);
+  EXPECT_EQ(memory_report.ingest_peak_disk_bytes, 0u);  // never spills
+
+  cc.backend = "skl2";
+  cc.ingest = "streaming";
+  cc.store.codec = "delta";
+  cc.spill_dir = (dir_ / "fused_spill").string();
+  ProducerBundle bundle = make_dataset_producer("SST-P1F4", 4, 0.5);
+  const auto fused = run_case(bundle, cc);
+
+  EXPECT_EQ(fused.sample_hash, memory_report.sample_hash);
+  EXPECT_EQ(fused.sampled_points, memory_report.sampled_points);
+  EXPECT_EQ(fused.train.test_loss, memory_report.train.test_loss);
+  // store_bytes sums every spill ever written; the disk peak is the
+  // largest single file — strictly less with >= 2 snapshots.
+  EXPECT_GT(fused.ingest_peak_disk_bytes, 0u);
+  EXPECT_LT(fused.ingest_peak_disk_bytes, fused.store_bytes);
+  EXPECT_EQ(fused.metrics.at("case.ingest_peak_disk_bytes"),
+            static_cast<double>(fused.ingest_peak_disk_bytes));
+  EXPECT_TRUE(std::filesystem::is_empty(dir_ / "fused_spill"));
+
+  // Temporal selection revisits snapshots, so the same config with the
+  // stage on cannot fuse: every spill file coexists and the disk peak is
+  // the whole spilled store.
+  cc.temporal.num_snapshots = 2;
+  cc.temporal.bins = 32;
+  ProducerBundle revisit = make_dataset_producer("SST-P1F4", 4, 0.5);
+  const auto unfused = run_case(revisit, cc);
+  EXPECT_EQ(unfused.ingest_peak_disk_bytes, unfused.store_bytes);
+  EXPECT_GT(unfused.store_bytes, fused.ingest_peak_disk_bytes);
 }
 
 /// Codec matrix over the streaming series backend: every lossless codec

@@ -26,7 +26,7 @@ reported but never fail the gate (benches grow and shrink across PRs; a
 *removed* baseline should be refreshed, not block unrelated work).
 
 Refreshing baselines after an intentional perf change:
-    ./build/bench_kernels            # emits BENCH_kernels.json
+    ./build/bench_kernels --benchmark_repetitions=3  # dispersion-gated
     ./build/bench_fig7_scalability   # emits BENCH_fig7_scalability.json
     ./build/bench_inference          # emits BENCH_inference.json
     cp BENCH_kernels.json BENCH_fig7_scalability.json \

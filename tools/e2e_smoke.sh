@@ -3,9 +3,10 @@
 # for every backend (memory | skl2 | series) x ingest mode (materialize |
 # streaming), then for every lossless codec (raw | delta | gorilla, plus
 # zstd when the binary was built with it) on the series/streaming
-# backend, and verify that the sample-set hash and the test loss are
-# identical across every run — the bit-identity contract the staged
-# orchestrator promises for lossless codecs.
+# backend, then with reader-side async prefetch on, and verify that the
+# sample-set hash and the test loss are identical across every run — the
+# bit-identity contract the staged orchestrator promises for lossless
+# codecs.
 #
 # Usage: tools/e2e_smoke.sh [path/to/sickle_train]
 # Local repro:  cmake -B build -S . && cmake --build build -j --target sickle_train
@@ -22,9 +23,10 @@ workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
 # Emit the case config for one (backend, ingest, codec) combination; an
-# optional fifth argument sets the sampling pool width (subsample.threads).
+# optional fifth argument sets the sampling pool width (subsample.threads)
+# and an optional sixth the reader-side readahead (store.prefetch_depth).
 write_cfg() {
-  local cfg=$1 backend=$2 ingest=$3 codec=$4 threads=${5:-1}
+  local cfg=$1 backend=$2 ingest=$3 codec=$4 threads=${5:-1} prefetch=${6:-0}
   cat > "$cfg" <<EOF
 shared:
   dataset: SST-P1F4
@@ -48,6 +50,7 @@ store:
   codec: $codec
   chunk: 16
   write_budget_mb: 1
+  prefetch_depth: $prefetch
   spill_dir: $workdir/spill
 
 train:
@@ -66,10 +69,10 @@ runs=0
 
 # Run one combination and check it against the reference.
 check_combo() {
-  local backend=$1 ingest=$2 codec=$3
-  local cfg="$workdir/case_${backend}_${ingest}_${codec}.yaml"
-  write_cfg "$cfg" "$backend" "$ingest" "$codec"
-  echo "=== backend=$backend ingest=$ingest codec=$codec"
+  local backend=$1 ingest=$2 codec=$3 prefetch=${4:-0}
+  local cfg="$workdir/case_${backend}_${ingest}_${codec}_p${prefetch}.yaml"
+  write_cfg "$cfg" "$backend" "$ingest" "$codec" 1 "$prefetch"
+  echo "=== backend=$backend ingest=$ingest codec=$codec prefetch=$prefetch"
   local out
   out=$("$BIN" "$cfg")
   echo "$out" | grep -E "sample set hash|sampled points|Evaluation on test set|ingest peak"
@@ -112,6 +115,14 @@ for codec in raw gorilla zstd; do
     fi
   fi
   check_combo series streaming "$codec"
+done
+
+# Readahead sweep: reader-side async block prefetch (store.prefetch_depth)
+# may change WHEN blocks are decoded, never what they decode to — both
+# series ingest modes with depth-4 readahead must reproduce the
+# prefetch-off reference hash and loss bit-for-bit.
+for ingest in materialize streaming; do
+  check_combo series "$ingest" delta 4
 done
 
 # Traced combo: one series/streaming run with the observability section
