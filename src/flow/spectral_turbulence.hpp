@@ -76,6 +76,9 @@ class SpectralTurbulenceProducer final : public SnapshotProducer {
 
   [[nodiscard]] std::size_t num_snapshots() const override;
   [[nodiscard]] std::optional<field::Snapshot> next() override;
+  /// All RNG draws happen at construction; a step is a pure function of
+  /// its index, so rewinding the step counter replays identical bits.
+  void reset() override;
 
  private:
   struct Impl;
@@ -104,6 +107,7 @@ class StratifiedProducer final : public SnapshotProducer {
     return base_.num_snapshots();
   }
   [[nodiscard]] std::optional<field::Snapshot> next() override;
+  void reset() override { base_.reset(); }  // enrichment is stateless
 
  private:
   SpectralTurbulenceProducer base_;
@@ -129,6 +133,7 @@ class IsotropicProducer final : public SnapshotProducer {
     return base_.num_snapshots();
   }
   [[nodiscard]] std::optional<field::Snapshot> next() override;
+  void reset() override { base_.reset(); }  // enrichment is stateless
 
  private:
   SpectralTurbulenceProducer base_;

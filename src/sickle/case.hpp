@@ -31,6 +31,7 @@
 #include "sampling/pipeline.hpp"
 #include "sampling/temporal.hpp"
 #include "sickle/dataset_zoo.hpp"
+#include "sickle/errors.hpp"
 #include "store/snapshot_store.hpp"
 
 namespace sickle {
@@ -77,6 +78,14 @@ struct CaseConfig {
   /// built; on failure it is kept and its path logged to stderr.
   std::string spill_dir;
   TemporalSelection temporal;  ///< optional snapshot-subset stage
+
+  /// ALL problems with this config at once — enum fields (backend, ingest,
+  /// arch, codec), zero/negative sizes, and fraction ranges — so a config
+  /// with three typos is fixed in one round trip instead of three.
+  /// Empty means valid. CaseSession::submit throws ConfigError with this
+  /// list; config_driver merges it into its own parse-level issues.
+  /// run_case itself keeps its legacy first-throw SICKLE_CHECKs.
+  [[nodiscard]] std::vector<ValidationIssue> validate() const;
 };
 
 struct CaseReport {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <utility>
 
 #include "common/error.hpp"
+#include "sickle/errors.hpp"
 
 namespace sickle {
 
@@ -13,6 +15,127 @@ std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   return s;
+}
+
+/// Issue sink for the section parsers: collecting mode (case_from_config
+/// gathers every problem across all sections and throws ONE ConfigError at
+/// the end) or immediate mode (the public per-section helpers, which throw
+/// on the section's full issue list as soon as it is non-empty).
+void report(std::vector<ValidationIssue>* sink, std::string field,
+            std::string message, std::string hint = "") {
+  if (sink == nullptr) {
+    throw ConfigError({{std::move(field), std::move(message),
+                        std::move(hint)}});
+  }
+  sink->push_back({std::move(field), std::move(message), std::move(hint)});
+}
+
+/// Positive-int config read: flags non-positive values as an issue and
+/// substitutes `fallback` so downstream casts never see garbage (and
+/// CaseConfig::validate() does not re-flag the same field).
+long positive_int(const Config& cfg, const std::string& section,
+                  const std::string& key, long fallback,
+                  std::vector<ValidationIssue>* sink) {
+  const long v = cfg.get_int(section, key, fallback);
+  if (v <= 0) {
+    report(sink, section + "." + key, key + " must be positive");
+    return fallback;
+  }
+  return v;
+}
+
+sampling::PipelineConfig pipeline_into(const Config& cfg,
+                                       std::vector<ValidationIssue>* sink) {
+  sampling::PipelineConfig pl;
+  // Cube edges: the paper's --nxsl/--nysl/--nzsl.
+  pl.cube.ex = static_cast<std::size_t>(
+      positive_int(cfg, "subsample", "nxsl", 8, sink));
+  pl.cube.ey = static_cast<std::size_t>(
+      positive_int(cfg, "subsample", "nysl", 8, sink));
+  pl.cube.ez = static_cast<std::size_t>(
+      positive_int(cfg, "subsample", "nzsl", 8, sink));
+  pl.hypercube_method = cfg.get_str("subsample", "hypercubes", "maxent");
+  pl.point_method = cfg.get_str("subsample", "method", "maxent");
+  pl.num_hypercubes = static_cast<std::size_t>(
+      cfg.get_int("subsample", "num_hypercubes", 32));
+  pl.num_samples = static_cast<std::size_t>(
+      cfg.get_int("subsample", "num_samples", 3277));
+  pl.num_clusters = static_cast<std::size_t>(
+      cfg.get_int("subsample", "num_clusters", 20));
+  if (cfg.has("shared", "input_vars")) {
+    pl.input_vars = cfg.get_list("shared", "input_vars");
+  }
+  if (cfg.has("shared", "output_vars")) {
+    pl.output_vars = cfg.get_list("shared", "output_vars");
+  }
+  pl.cluster_var = cfg.get_str("shared", "cluster_var", "");
+  pl.pdf_bins = static_cast<std::size_t>(
+      cfg.get_int("subsample", "pdf_bins", 10));
+  pl.seed = static_cast<std::uint64_t>(cfg.get_int("shared", "seed", 42));
+  // Worker threads for scoring + point sampling: 1 serial, 0 = all
+  // hardware threads, N = dedicated pool. Bit-identical samples for every
+  // value (see PipelineConfig::threads).
+  const long threads = cfg.get_int("subsample", "threads", 1);
+  if (threads < 0) {
+    report(sink, "subsample.threads", "subsample threads must be >= 0",
+           "0 = all hardware threads");
+    pl.threads = 1;
+  } else {
+    pl.threads = static_cast<std::size_t>(threads);
+  }
+  return pl;
+}
+
+store::StoreOptions store_into(const Config& cfg,
+                               std::vector<ValidationIssue>* sink) {
+  store::StoreOptions opts;
+  // Fail at config time, not at the first mid-run snapshot spill.
+  const long edge = positive_int(cfg, "store", "chunk", 32, sink);
+  opts.chunk.nx = static_cast<std::size_t>(
+      positive_int(cfg, "store", "chunk_x", edge, sink));
+  opts.chunk.ny = static_cast<std::size_t>(
+      positive_int(cfg, "store", "chunk_y", edge, sink));
+  opts.chunk.nz = static_cast<std::size_t>(
+      positive_int(cfg, "store", "chunk_z", edge, sink));
+  opts.cache_bytes = static_cast<std::size_t>(
+                         positive_int(cfg, "store", "cache_mb", 64, sink))
+                     << 20;
+  opts.write_budget_bytes =
+      static_cast<std::size_t>(
+          positive_int(cfg, "store", "write_budget_mb", 8, sink))
+      << 20;
+  const long prefetch = cfg.get_int("store", "prefetch_depth", 0);
+  if (prefetch < 0) {
+    report(sink, "store.prefetch_depth",
+           "store prefetch_depth must be >= 0", "0 disables readahead");
+  } else {
+    opts.prefetch_depth = static_cast<std::size_t>(prefetch);
+  }
+  opts.codec = lower(cfg.get_str("store", "codec", "delta"));
+  opts.tolerance = cfg.get_double("store", "tolerance", 1e-6);
+  try {
+    (void)store::make_codec(opts.codec, opts.tolerance);  // validates name
+  } catch (const std::exception& e) {
+    report(sink, "store.codec", e.what(),
+           "raw | delta | quant | gorilla");
+  }
+  return opts;
+}
+
+TemporalSelection temporal_into(const Config& cfg,
+                                std::vector<ValidationIssue>* sink) {
+  TemporalSelection ts;
+  const long keep = cfg.get_int("temporal", "num_snapshots", 0);
+  if (keep < 0) {
+    report(sink, "temporal.num_snapshots",
+           "temporal num_snapshots must be >= 0", "0 disables the stage");
+  } else {
+    ts.num_snapshots = static_cast<std::size_t>(keep);
+  }
+  ts.bins = static_cast<std::size_t>(
+      positive_int(cfg, "temporal", "bins", 100, sink));
+  ts.variable = cfg.get_str("temporal", "variable", "");
+  return ts;
 }
 
 }  // namespace
@@ -37,125 +160,62 @@ std::string dataset_label_from_config(const Config& cfg) {
 double dataset_scale_from_config(const Config& cfg) {
   const double scale = cfg.get_double("shared", "scale", 1.0);
   if (!(scale > 0.0)) {
-    throw RuntimeError("shared scale must be > 0");
+    throw ConfigError({{"shared.scale", "shared scale must be > 0", ""}});
   }
   return scale;
 }
 
 sampling::PipelineConfig pipeline_from_config(const Config& cfg) {
-  sampling::PipelineConfig pl;
-  // Cube edges: the paper's --nxsl/--nysl/--nzsl.
-  pl.cube.ex = static_cast<std::size_t>(cfg.get_int("subsample", "nxsl", 8));
-  pl.cube.ey = static_cast<std::size_t>(cfg.get_int("subsample", "nysl", 8));
-  pl.cube.ez = static_cast<std::size_t>(cfg.get_int("subsample", "nzsl", 8));
-  pl.hypercube_method = cfg.get_str("subsample", "hypercubes", "maxent");
-  pl.point_method = cfg.get_str("subsample", "method", "maxent");
-  pl.num_hypercubes = static_cast<std::size_t>(
-      cfg.get_int("subsample", "num_hypercubes", 32));
-  pl.num_samples = static_cast<std::size_t>(
-      cfg.get_int("subsample", "num_samples", 3277));
-  pl.num_clusters = static_cast<std::size_t>(
-      cfg.get_int("subsample", "num_clusters", 20));
-  if (cfg.has("shared", "input_vars")) {
-    pl.input_vars = cfg.get_list("shared", "input_vars");
-  }
-  if (cfg.has("shared", "output_vars")) {
-    pl.output_vars = cfg.get_list("shared", "output_vars");
-  }
-  pl.cluster_var = cfg.get_str("shared", "cluster_var", "");
-  pl.pdf_bins = static_cast<std::size_t>(
-      cfg.get_int("subsample", "pdf_bins", 10));
-  pl.seed = static_cast<std::uint64_t>(cfg.get_int("shared", "seed", 42));
-  // Worker threads for scoring + point sampling: 1 serial, 0 = all
-  // hardware threads, N = dedicated pool. Bit-identical samples for every
-  // value (see PipelineConfig::threads).
-  const long threads = cfg.get_int("subsample", "threads", 1);
-  if (threads < 0) {
-    throw RuntimeError("subsample threads must be >= 0");
-  }
-  pl.threads = static_cast<std::size_t>(threads);
-  return pl;
+  return pipeline_into(cfg, nullptr);
 }
 
 store::StoreOptions store_options_from_config(const Config& cfg) {
-  store::StoreOptions opts;
-  const long edge = cfg.get_int("store", "chunk", 32);
-  const long cx = cfg.get_int("store", "chunk_x", edge);
-  const long cy = cfg.get_int("store", "chunk_y", edge);
-  const long cz = cfg.get_int("store", "chunk_z", edge);
-  const long cache_mb = cfg.get_int("store", "cache_mb", 64);
-  const long budget_mb = cfg.get_int("store", "write_budget_mb", 8);
-  const long prefetch = cfg.get_int("store", "prefetch_depth", 0);
-  // Fail at config time, not at the first mid-run snapshot spill.
-  if (cx <= 0 || cy <= 0 || cz <= 0) {
-    throw RuntimeError("store chunk edges must be positive");
-  }
-  if (cache_mb <= 0) {
-    throw RuntimeError("store cache_mb must be positive");
-  }
-  if (budget_mb <= 0) {
-    throw RuntimeError("store write_budget_mb must be positive");
-  }
-  if (prefetch < 0) {
-    throw RuntimeError("store prefetch_depth must be >= 0");
-  }
-  opts.chunk.nx = static_cast<std::size_t>(cx);
-  opts.chunk.ny = static_cast<std::size_t>(cy);
-  opts.chunk.nz = static_cast<std::size_t>(cz);
-  opts.codec = lower(cfg.get_str("store", "codec", "delta"));
-  opts.tolerance = cfg.get_double("store", "tolerance", 1e-6);
-  opts.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
-  opts.write_budget_bytes = static_cast<std::size_t>(budget_mb) << 20;
-  opts.prefetch_depth = static_cast<std::size_t>(prefetch);
-  (void)store::make_codec(opts.codec, opts.tolerance);  // validates the name
-  return opts;
+  return store_into(cfg, nullptr);
 }
 
 TemporalSelection temporal_from_config(const Config& cfg) {
-  TemporalSelection ts;
-  const long keep = cfg.get_int("temporal", "num_snapshots", 0);
-  const long bins = cfg.get_int("temporal", "bins", 100);
-  if (keep < 0) throw RuntimeError("temporal num_snapshots must be >= 0");
-  if (bins <= 0) throw RuntimeError("temporal bins must be positive");
-  ts.num_snapshots = static_cast<std::size_t>(keep);
-  ts.variable = cfg.get_str("temporal", "variable", "");
-  ts.bins = static_cast<std::size_t>(bins);
-  return ts;
+  return temporal_into(cfg, nullptr);
 }
 
 CaseConfig case_from_config(const Config& cfg) {
+  // Collecting mode: every section parser appends to `issues`, invalid
+  // values are replaced with defaults so parsing continues, and the caller
+  // gets ONE ConfigError naming every problem — the contract both the
+  // config_driver CLIs and the server's submit verb rely on.
+  std::vector<ValidationIssue> issues;
   CaseConfig cc;
-  cc.pipeline = pipeline_from_config(cfg);
+  cc.pipeline = pipeline_into(cfg, &issues);
   cc.backend = lower(cfg.get_str("store", "backend", "memory"));
-  if (cc.backend != "memory" && cc.backend != "skl2" &&
-      cc.backend != "series") {
-    throw RuntimeError("unknown store backend: " + cc.backend);
-  }
   cc.ingest = lower(cfg.get_str("store", "ingest", "materialize"));
-  if (cc.ingest != "materialize" && cc.ingest != "streaming") {
-    throw RuntimeError("unknown store ingest mode: " + cc.ingest);
-  }
-  cc.store = store_options_from_config(cfg);
+  cc.store = store_into(cfg, &issues);
   cc.spill_dir = cfg.get_str("store", "spill_dir", "");
-  cc.temporal = temporal_from_config(cfg);
-  cc.arch = normalize_arch(
-      cfg.get_str("train", "arch", "MLP_transformer"));
-  cc.window = static_cast<std::size_t>(cfg.get_int("train", "window", 1));
-  cc.model_dim = static_cast<std::size_t>(cfg.get_int("train", "dim", 32));
-  cc.model_heads =
-      static_cast<std::size_t>(cfg.get_int("train", "heads", 4));
-  cc.model_layers =
-      static_cast<std::size_t>(cfg.get_int("train", "layers", 1));
+  cc.temporal = temporal_into(cfg, &issues);
+  const std::string raw_arch =
+      cfg.get_str("train", "arch", "MLP_transformer");
+  try {
+    cc.arch = normalize_arch(raw_arch);
+  } catch (const RuntimeError&) {
+    // Keep the raw spelling: validate() below reports it (exactly once)
+    // with the list of valid architectures.
+    cc.arch = raw_arch;
+  }
+  cc.window = static_cast<std::size_t>(
+      positive_int(cfg, "train", "window", 1, &issues));
+  cc.model_dim = static_cast<std::size_t>(
+      positive_int(cfg, "train", "dim", 32, &issues));
+  cc.model_heads = static_cast<std::size_t>(
+      positive_int(cfg, "train", "heads", 4, &issues));
+  cc.model_layers = static_cast<std::size_t>(
+      positive_int(cfg, "train", "layers", 1, &issues));
 
-  cc.train.epochs =
-      static_cast<std::size_t>(cfg.get_int("train", "epochs", 1000));
-  cc.train.batch =
-      static_cast<std::size_t>(cfg.get_int("train", "batch", 16));
+  cc.train.epochs = static_cast<std::size_t>(
+      positive_int(cfg, "train", "epochs", 1000, &issues));
+  cc.train.batch = static_cast<std::size_t>(
+      positive_int(cfg, "train", "batch", 16, &issues));
   cc.train.lr = cfg.get_double("train", "lr", 1e-3);
   cc.train.patience =
       static_cast<std::size_t>(cfg.get_int("train", "patience", 20));
-  cc.train.test_fraction =
-      cfg.get_double("train", "test_frac", 0.1);
+  cc.train.test_fraction = cfg.get_double("train", "test_frac", 0.1);
   cc.train.seed = static_cast<std::uint64_t>(
       cfg.get_int("train", "seed", cfg.get_int("shared", "seed", 42)));
   const std::string precision =
@@ -167,8 +227,23 @@ CaseConfig case_from_config(const Config& cfg) {
   } else if (precision == "bf16") {
     cc.train.precision = ml::Precision::kBf16;
   } else {
-    throw RuntimeError("unknown precision: " + precision);
+    issues.push_back({"train.precision", "unknown precision: " + precision,
+                      "fp32 | fp16 | bf16"});
   }
+
+  // Semantic checks over the assembled config. Parse-level issues above
+  // substituted defaults, so a field validate() flags here was not
+  // already flagged; the field-name guard keeps the few overlapping
+  // checks (codec, enums) reported exactly once.
+  for (auto& issue : cc.validate()) {
+    const bool dup =
+        std::any_of(issues.begin(), issues.end(),
+                    [&](const ValidationIssue& have) {
+                      return have.field == issue.field;
+                    });
+    if (!dup) issues.push_back(std::move(issue));
+  }
+  if (!issues.empty()) throw ConfigError(std::move(issues));
   return cc;
 }
 

@@ -1,0 +1,149 @@
+/// @file errors.hpp
+/// @brief Typed case errors and lifecycle states shared by the staged
+/// orchestrator (stage.hpp), the session API (session.hpp), and the
+/// serve protocol (src/serve).
+///
+/// Every error a case can surface at the session/server boundary is a
+/// CaseError carrying a machine-readable CaseErrorCode, so clients branch
+/// on the code instead of parsing what() strings. CaseError derives from
+/// RuntimeError, which keeps every pre-session call site (`catch
+/// (RuntimeError&)`, EXPECT_THROW(..., RuntimeError)) working unchanged —
+/// the redesign adds type information without breaking the legacy
+/// contract.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sickle {
+
+/// Lifecycle of one submitted case: the queue states plus one state per
+/// orchestrator stage (ingest -> selection -> sampling -> training) and
+/// three terminal states. Reported by CaseHandle::status().
+enum class CaseState {
+  kQueued,     ///< accepted, waiting for a runner slot
+  kIngesting,  ///< stage A: materialize / spill / stream the dataset
+  kSelecting,  ///< stage B: temporal snapshot selection
+  kSampling,   ///< stage C: per-snapshot sampling into the training set
+  kTraining,   ///< stage D: model fit + evaluation
+  kDone,       ///< finished; CaseHandle::wait() returns the report
+  kFailed,     ///< threw; status() carries the code + message
+  kCancelled,  ///< cancel() won the race; no report
+};
+
+[[nodiscard]] constexpr const char* to_string(CaseState s) noexcept {
+  switch (s) {
+    case CaseState::kQueued: return "queued";
+    case CaseState::kIngesting: return "ingesting";
+    case CaseState::kSelecting: return "selecting";
+    case CaseState::kSampling: return "sampling";
+    case CaseState::kTraining: return "training";
+    case CaseState::kDone: return "done";
+    case CaseState::kFailed: return "failed";
+    case CaseState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Machine-readable classification of a case failure. Stage codes
+/// (kIngest..kTraining) are assigned from the state the case was in when
+/// it threw, so a corrupt spill store surfaces as kSampling even when the
+/// underlying throw was a store-level RuntimeError.
+enum class CaseErrorCode {
+  kConfig,     ///< invalid CaseConfig (see ConfigError::issues())
+  kQueueFull,  ///< submission rejected: bounded FIFO queue at capacity
+  kCancelled,  ///< cancel() interrupted the case
+  kIngest,     ///< stage A failure (producer, spill writer, I/O)
+  kSelection,  ///< stage B failure
+  kSampling,   ///< stage C failure
+  kTraining,   ///< stage D failure
+  kInternal,   ///< anything else (bug, resource exhaustion)
+};
+
+[[nodiscard]] constexpr const char* to_string(CaseErrorCode c) noexcept {
+  switch (c) {
+    case CaseErrorCode::kConfig: return "config";
+    case CaseErrorCode::kQueueFull: return "queue_full";
+    case CaseErrorCode::kCancelled: return "cancelled";
+    case CaseErrorCode::kIngest: return "ingest";
+    case CaseErrorCode::kSelection: return "selection";
+    case CaseErrorCode::kSampling: return "sampling";
+    case CaseErrorCode::kTraining: return "training";
+    case CaseErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Base of the typed hierarchy. Still a RuntimeError, so legacy callers
+/// that catch by the old type keep working.
+class CaseError : public RuntimeError {
+ public:
+  CaseError(CaseErrorCode code, const std::string& what)
+      : RuntimeError(what), code_(code) {}
+
+  [[nodiscard]] CaseErrorCode code() const noexcept { return code_; }
+
+ private:
+  CaseErrorCode code_;
+};
+
+/// One problem CaseConfig::validate() found: the dotted config path, what
+/// is wrong with it, and (when there is an obvious fix) how to fix it.
+struct ValidationIssue {
+  std::string field;    ///< dotted path, e.g. "store.backend"
+  std::string message;  ///< what is wrong
+  std::string hint;     ///< valid values / suggested fix; may be empty
+};
+
+/// Invalid configuration, carrying EVERY issue found — validation is
+/// all-errors-at-once (CaseConfig::validate()), not first-throw, so a
+/// config with three typos is fixed in one round trip.
+class ConfigError : public CaseError {
+ public:
+  explicit ConfigError(std::vector<ValidationIssue> issues)
+      : CaseError(CaseErrorCode::kConfig, format(issues)),
+        issues_(std::move(issues)) {}
+
+  [[nodiscard]] const std::vector<ValidationIssue>& issues() const noexcept {
+    return issues_;
+  }
+
+ private:
+  static std::string format(const std::vector<ValidationIssue>& issues) {
+    std::string out = "invalid case config (" +
+                      std::to_string(issues.size()) + " issue" +
+                      (issues.size() == 1 ? "" : "s") + ")";
+    for (const auto& i : issues) {
+      out += "; " + i.field + ": " + i.message;
+      if (!i.hint.empty()) out += " (" + i.hint + ")";
+    }
+    return out;
+  }
+
+  std::vector<ValidationIssue> issues_;
+};
+
+/// cancel() interrupted the case (thrown out of stage::checkpoint and
+/// rethrown by CaseHandle::wait on a cancelled case).
+class CancelledError : public CaseError {
+ public:
+  explicit CancelledError(const std::string& what = "case cancelled")
+      : CaseError(CaseErrorCode::kCancelled, what) {}
+};
+
+/// Submission rejected by admission control: the session's bounded FIFO
+/// queue is at capacity. The caller's bundle is left untouched — retry
+/// after a running case finishes, or cancel a queued one.
+class QueueFullError : public CaseError {
+ public:
+  explicit QueueFullError(std::size_t capacity)
+      : CaseError(CaseErrorCode::kQueueFull,
+                  "case queue full (capacity " + std::to_string(capacity) +
+                      "); retry after a case finishes or raise "
+                      "server.queue_capacity") {}
+};
+
+}  // namespace sickle

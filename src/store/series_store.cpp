@@ -449,10 +449,20 @@ SeriesReader::SeriesReader(const std::string& path,
     views_.push_back(SeriesSnapshotView(this, t));
   }
 
-  const std::size_t chunk_bytes =
-      layout_.chunk_shape().size() * sizeof(double);
-  cache_ = std::make_unique<BlockCache>(ropts.cache_bytes, chunk_bytes,
-                                        ropts.shards);
+  if (ropts.shared_cache != nullptr) {
+    // Shared mode: salt every key with the container path so readers over
+    // different files divide one byte budget without colliding, while
+    // readers of the SAME path share decoded blocks.
+    cache_ = ropts.shared_cache;
+    key_salt_ = fnv1a64(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(path.data()), path.size()));
+  } else {
+    const std::size_t chunk_bytes =
+        layout_.chunk_shape().size() * sizeof(double);
+    owned_cache_ = std::make_unique<BlockCache>(ropts.cache_bytes,
+                                                chunk_bytes, ropts.shards);
+    cache_ = owned_cache_.get();
+  }
   prefetch_depth_ = ropts.prefetch_depth;
   if (prefetch_depth_ > 0) {
     prefetch_pool_ = ropts.pool != nullptr ? ropts.pool : &ThreadPool::global();
@@ -526,10 +536,10 @@ void SeriesReader::schedule_prefetch(std::size_t t, std::size_t f,
   }
   const std::uint64_t first = std::max(key + 1, prev);
   for (std::uint64_t k = first; k <= last; ++k) {
-    if (cache_->contains(k)) continue;
+    if (cache_->contains(key_salt_ ^ k)) continue;
     prefetch_group_->run([this, k] {
       try {
-        cache_->insert_prefetched(k, load_block(k));
+        cache_->insert_prefetched(key_salt_ ^ k, load_block(k));
       } catch (...) {
         // Advisory readahead: drop the failure (I/O error, corrupt
         // block); the demand path rediscovers and reports it.
@@ -545,9 +555,10 @@ std::shared_ptr<const std::vector<double>> SeriesReader::chunk(
   const std::uint64_t key =
       (t * names_.size() + field_index) * layout_.count() + chunk_id;
   bool frontier = false;
-  auto values =
-      cache_->get(key, [&]() -> BlockCache::Block { return load_block(key); },
-                  prefetch_depth_ > 0 ? &frontier : nullptr);
+  auto values = cache_->get(
+      key_salt_ ^ key,
+      [&]() -> BlockCache::Block { return load_block(key); },
+      prefetch_depth_ > 0 ? &frontier : nullptr);
   if (frontier) schedule_prefetch(t, field_index, chunk_id);
   return values;
 }

@@ -58,6 +58,13 @@ struct ReaderOptions {
   /// Pool running prefetch decodes; nullptr = ThreadPool::global().
   /// Ignored when prefetch_depth == 0.
   ThreadPool* pool = nullptr;
+  /// Decode into this externally owned cache instead of a private one.
+  /// Keys are salted with an FNV-1a hash of the container path, so any
+  /// number of readers over different files share one byte budget without
+  /// key collisions (same-file readers share decoded blocks). The cache
+  /// must outlive the reader; `cache_bytes`/`shards` are ignored when
+  /// set. cache_stats() then reports the shared cache's lifetime tallies.
+  BlockCache* shared_cache = nullptr;
 };
 
 /// What a SeriesWriter did, returned by close().
@@ -300,7 +307,12 @@ class SeriesReader final : public field::SeriesSource {
   /// [(t * nfields + f) * field::kCoarseHistogramBins + bin].
   std::vector<std::uint64_t> histograms_;
   std::vector<SeriesSnapshotView> views_;  ///< one borrowable view per t
-  std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<BlockCache> owned_cache_;  ///< null when sharing
+  BlockCache* cache_ = nullptr;  ///< owned_cache_.get() or the shared one
+  /// XORed into every cache key (0 for a private cache; fnv1a64 of the
+  /// container path when sharing) so distinct files never collide in a
+  /// shared cache. load_block() always takes the UNsalted flat key.
+  std::uint64_t key_salt_ = 0;
   std::size_t prefetch_depth_ = 0;
   ThreadPool* prefetch_pool_ = nullptr;
   /// Highest block key ever queued for readahead, plus one — a monotone

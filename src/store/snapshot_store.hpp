@@ -54,6 +54,13 @@ struct StoreOptions {
   /// trailing-index layout without per-block payload checksums. Readers
   /// accept every version they know.
   std::uint32_t format_version = 0;
+  /// Reader-side: decode into this externally owned BlockCache instead of
+  /// a per-reader one (SKL3 SeriesReader only; keys are salted with a
+  /// per-file hash so readers of different containers can share it).
+  /// nullptr = each reader owns a private cache of `cache_bytes`. The
+  /// cache must outlive every reader using it — CaseSession points this
+  /// at its process-global session cache.
+  BlockCache* shared_cache = nullptr;
 };
 
 /// What write_store did, for benches and storage accounting.

@@ -1,7 +1,14 @@
 // Tests: YAML-subset case configuration -> pipeline/case configs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sickle/case.hpp"
 #include "sickle/config_driver.hpp"
+#include "sickle/dataset_zoo.hpp"
 
 namespace sickle {
 namespace {
@@ -255,6 +262,72 @@ train:
   const auto report = run_case(bundle, case_from_config(cfg));
   EXPECT_GT(report.sampled_points, 0u);
   EXPECT_TRUE(std::isfinite(report.train.test_loss));
+}
+
+TEST(ConfigDriver, ValidateIsEmptyForGoodConfig) {
+  const auto cfg = Config::parse(kCaseYaml);
+  EXPECT_TRUE(case_from_config(cfg).validate().empty());
+}
+
+TEST(ConfigDriver, ValidateCollectsEveryIssueAtOnce) {
+  CaseConfig cc;
+  cc.backend = "floppy";
+  cc.ingest = "teleport";
+  cc.arch = "Perceptron9000";
+  cc.window = 0;
+  cc.store.codec = "middle-out";
+  cc.train.lr = 0.0;
+  cc.train.test_fraction = 1.5;
+  const auto issues = cc.validate();
+  EXPECT_GE(issues.size(), 7u);
+  std::vector<std::string> fields;
+  for (const auto& issue : issues) {
+    fields.push_back(issue.field);
+    EXPECT_FALSE(issue.message.empty()) << issue.field;
+  }
+  for (const char* field :
+       {"store.backend", "store.ingest", "train.arch", "train.window",
+        "store.codec", "train.lr", "train.test_frac"}) {
+    EXPECT_NE(std::find(fields.begin(), fields.end(), field), fields.end())
+        << field;
+  }
+}
+
+TEST(ConfigDriver, CaseFromConfigReportsFullIssueList) {
+  // One parse, one throw, EVERY problem named: bad arch + bad codec + bad
+  // precision all surface in a single ConfigError instead of fix-one-
+  // rerun-find-the-next.
+  const auto cfg = Config::parse(R"(
+shared:
+  dataset: SST-P1F4
+store:
+  backend: series
+  codec: middle-out
+train:
+  arch: Perceptron9000
+  precision: int3
+)");
+  try {
+    (void)case_from_config(cfg);
+    FAIL() << "case_from_config accepted an invalid config";
+  } catch (const ConfigError& e) {
+    std::vector<std::string> fields;
+    for (const auto& issue : e.issues()) fields.push_back(issue.field);
+    for (const char* field : {"store.codec", "train.arch",
+                              "train.precision"}) {
+      EXPECT_NE(std::find(fields.begin(), fields.end(), field), fields.end())
+          << field << " missing from: " << e.what();
+    }
+    // The aggregate message carries each field for log greppability.
+    EXPECT_NE(std::string(e.what()).find("store.codec"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("train.arch"), std::string::npos);
+  }
+}
+
+TEST(ConfigDriver, ConfigErrorIsARuntimeError) {
+  const auto cfg = Config::parse("shared:\n  dataset: OF2D\n  scale: -1\n");
+  EXPECT_THROW((void)dataset_scale_from_config(cfg), ConfigError);
+  EXPECT_THROW((void)dataset_scale_from_config(cfg), RuntimeError);
 }
 
 }  // namespace

